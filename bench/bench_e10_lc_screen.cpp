@@ -1,0 +1,116 @@
+// E10 (Table 3) — end-to-end LC-IMS-TOF proteomic screen, SA vs MP.
+//
+// Claim reproduced (#22): within a fixed 15-minute LC analysis, the
+// multiplexed platform identifies far more peptides than the conventional
+// signal-averaged acquisition. A 200-peptide synthetic digest elutes over
+// a 13-minute gradient; frames are acquired at regular LC time points in
+// both modes and species are scored as detected if any frame shows their
+// drift/mz peak at SNR >= 5.
+#include <iostream>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+namespace {
+
+std::set<std::string> screen(core::SimulatorConfig cfg,
+                             const instrument::SampleMixture& digest,
+                             const std::vector<double>& times,
+                             double min_height_counts) {
+    cfg.lc_mode = true;
+    core::Simulator sim(cfg, digest);
+    // Score each species only in the frame nearest its LC apex: detector
+    // dark counts have Poisson tails, so letting every frame vote would
+    // accumulate false positives in *both* modes until the score saturates
+    // (the standard LC-MS practice of matching detections to the expected
+    // retention time).
+    std::map<std::string, double> retention;
+    for (const auto& sp : digest.species) retention[sp.name] = sp.retention_time_s;
+    std::set<std::string> found;
+    for (std::size_t f = 0; f < times.size(); ++f) {
+        const double t = times[f];
+        const auto run = sim.run(t);
+        AlignedVector<double> profile(run.deconvolved.drift_bins());
+        for (const auto& trace : run.acquisition.traces) {
+            const double rt = retention.at(trace.name);
+            double best = 1e30;
+            for (const double tt : times) best = std::min(best, std::abs(tt - rt));
+            if (std::abs(t - rt) > best + 1e-9) continue;  // not the apex frame
+            if (found.count(trace.name)) continue;
+            run.deconvolved.drift_profile(trace.mz_bin, profile);
+            // Besides the SNR gate, demand a minimum *absolute* height:
+            // over a sparse zero-clamped baseline a single dark ion would
+            // otherwise pass any sigma-based gate. The floor is a count of
+            // actual ions: a signal-averaged peak of h counts IS h ions,
+            // while a deconvolved multiplexed amplitude of h counts
+            // represents h ions in each of ~n_pulses releases, so its
+            // per-frame floor is proportionally lower (passed in by the
+            // caller).
+            auto peaks = core::pick_peaks(profile,
+                                          core::PeakPickOptions{5.0, 2, 3});
+            std::erase_if(peaks, [&](const core::Peak& pk) {
+                return pk.height < min_height_counts;
+            });
+            if (core::detected_near(peaks, trace.drift_bin,
+                                    3.0 + 3.0 * trace.drift_sigma_bins, 5.0,
+                                    profile.size()))
+                found.insert(trace.name);
+        }
+    }
+    return found;
+}
+
+}  // namespace
+
+int main() {
+    instrument::PeptideLibraryConfig lib;
+    lib.count = 200;
+    lib.abundance_min = 2e3;
+    lib.abundance_max = 3e5;
+    lib.gradient_start_s = 60.0;
+    lib.gradient_end_s = 840.0;
+    const auto digest = instrument::make_tryptic_digest(lib);
+
+    // 24 LC time points across the 15-minute analysis.
+    std::vector<double> times;
+    for (int i = 0; i < 24; ++i) times.push_back(45.0 + 35.0 * i);
+
+    core::SimulatorConfig mp = core::default_config();
+    mp.tof.bins = 1024;
+    mp.acquisition.averages = 2;
+    mp.detector.dark_rate = 0.1;
+    core::SimulatorConfig sa = mp;
+    sa.acquisition.mode = pipeline::AcquisitionMode::kSignalAveraging;
+    sa.acquisition.use_trap = false;
+
+    // Absolute floors: >= 3 detected ions per frame in both modes. The SA
+    // drift spectrum reads ions directly; the MP deconvolved amplitude is
+    // ions *per release*, and the frame contains n_pulses releases.
+    const double n_pulses = 128.0;  // order-8 pulsed modified PRS
+    const auto mp_found = screen(mp, digest, times, 3.0 / n_pulses);
+    const auto sa_found = screen(sa, digest, times, 3.0);
+
+    std::size_t common = 0;
+    for (const auto& name : mp_found) common += sa_found.count(name);
+
+    Table table("E10: LC-IMS-TOF screen, 15-minute budget, 200-peptide digest");
+    table.set_header({"mode", "peptides_detected", "detection_%"});
+    table.set_precision(1);
+    table.add_row({std::string("signal averaging (no trap)"),
+                   static_cast<std::int64_t>(sa_found.size()),
+                   100.0 * static_cast<double>(sa_found.size()) / 200.0});
+    table.add_row({std::string("multiplexed (modified PRS + trap)"),
+                   static_cast<std::int64_t>(mp_found.size()),
+                   100.0 * static_cast<double>(mp_found.size()) / 200.0});
+    table.print(std::cout);
+    std::cout << "SA-detected peptides also found by MP: " << common << "/"
+              << sa_found.size() << "\n";
+    std::cout << "\nShape check: the multiplexed platform detects a large\n"
+                 "multiple of the signal-averaged count in the same 15-minute\n"
+                 "analysis, and (near-)supersets it.\n";
+    return 0;
+}

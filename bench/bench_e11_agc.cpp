@@ -1,0 +1,50 @@
+// E11 (Figure 8) — automated gain control of the ion funnel trap.
+//
+// Claims reproduced (#23, #45): without AGC, bright sources overfill the
+// trap (capacity losses) and launch space-charge-bloated packets; AGC
+// adapts the fill time so the packet stays at a fixed fraction of
+// capacity, preserving resolving power and keeping the response linear.
+// Source intensity is swept over 4 orders of magnitude in trap-and-release
+// mode, AGC off vs on.
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    Table table("E11: trap behaviour vs source intensity, AGC off/on");
+    table.set_header({"source_scale", "agc", "fill_ms", "packet_charges",
+                      "saturated", "sigma_bins", "snr"});
+    table.set_precision(2);
+
+    for (const double scale : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+        auto mix = instrument::make_calibration_mix();
+        for (auto& sp : mix.species) sp.intensity *= scale;
+        for (const bool agc : {false, true}) {
+            core::SimulatorConfig cfg = core::default_config();
+            cfg.tof.bins = 256;
+            cfg.acquisition.mode = pipeline::AcquisitionMode::kSignalAveraging;
+            cfg.acquisition.use_trap = true;
+            cfg.acquisition.agc = agc;
+            cfg.acquisition.averages = 4;
+            cfg.trap.agc_target_fraction = 0.02;
+            core::Simulator sim(cfg, mix);
+            const auto run = sim.run();
+            const auto& trace = run.acquisition.traces.front();
+            table.add_row(
+                {scale, std::string(agc ? "on" : "off"),
+                 1e3 * run.acquisition.duty_cycle * sim.engine().period_s(),
+                 run.acquisition.mean_packet_charges,
+                 std::string(run.acquisition.trap_saturated ? "yes" : "no"),
+                 trace.drift_sigma_bins,
+                 core::species_snr(run.deconvolved, trace)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: AGC-off packets grow with the source until the\n"
+                 "capacity rail (saturated) and the drift peaks broaden\n"
+                 "(Coulomb); AGC-on clamps the packet charge, keeps the trap\n"
+                 "unsaturated and the peak width flat across 4 decades.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+// E12 (ablation figure) — ADC vs TDC detection linearity.
+//
+// Design-choice ablation called out in DESIGN.md: the platform moved from
+// TDC (counting) to ADC detection because a discriminator registers at
+// most one ion per bin per period, compressing strong signals — fatal for
+// the dynamic range the multiplexed instrument targets (#22 uses an ADC).
+// We sweep the per-bin ion flux and report the accumulated response of
+// both detector models against the ideal line.
+#include <cmath>
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    const std::size_t periods = 256;
+    instrument::DetectorConfig adc_cfg;
+    adc_cfg.dark_rate = 0.0;
+    adc_cfg.noise_sigma = 0.0;
+    adc_cfg.gain_spread = 0.0;
+    instrument::DetectorConfig tdc_cfg = adc_cfg;
+    tdc_cfg.mode = instrument::DetectionMode::kTdc;
+    const instrument::Detector adc(adc_cfg);
+    const instrument::Detector tdc(tdc_cfg);
+    Rng rng(77);
+
+    Table table("E12: detector response vs ion flux (256 accumulated periods)");
+    table.set_header({"ions_per_bin", "ideal", "adc_counts", "adc_lin_%",
+                      "tdc_counts", "tdc_lin_%"});
+    table.set_precision(2);
+
+    for (const double flux : {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
+        const double ideal = flux * static_cast<double>(periods);
+        AlignedVector<double> expected(64, flux);
+        AlignedVector<double> out(64);
+        RunningStats adc_stats, tdc_stats;
+        for (int rep = 0; rep < 20; ++rep) {
+            adc.acquire_accumulated(expected, periods, out, rng);
+            for (double v : out) adc_stats.add(v);
+            tdc.acquire_accumulated(expected, periods, out, rng);
+            for (double v : out) tdc_stats.add(v);
+        }
+        table.add_row({flux, ideal, adc_stats.mean(),
+                       100.0 * adc_stats.mean() / ideal, tdc_stats.mean(),
+                       100.0 * tdc_stats.mean() / ideal});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: the ADC stays linear across 3.5 decades; the\n"
+                 "TDC response saturates at one count per period (linearity\n"
+                 "collapsing above ~0.1 ions/bin), reproducing the documented\n"
+                 "reason the multiplexed platform adopted ADC detection.\n";
+    return 0;
+}

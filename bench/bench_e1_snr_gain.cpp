@@ -1,0 +1,61 @@
+// E1 (Figure 1) — SNR vs acquisition time: multiplexed vs signal averaging.
+//
+// Claim reproduced (Belov et al. 2007, #26): at equal analysis time the
+// PRS-multiplexed, trap-injected acquisition delivers roughly an order of
+// magnitude higher SNR than conventional signal averaging — equivalently,
+// it reaches a target SNR orders of magnitude sooner. Both modes run the
+// same instrument at the same time resolution (order-7 modified PRS fine
+// grid), same 9-peptide sample, over a chemical background; the number of
+// accumulated periods is swept.
+#include <cmath>
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    core::SimulatorConfig base = core::default_config();
+    base.tof.bins = 512;
+    base.detector.dark_rate = 0.3;  // chemical background (noise-limited SA)
+    base.acquisition.sequence_order = 7;
+    const auto mix = instrument::make_calibration_mix();
+    const int replicates = 2;
+
+    Table table("E1: SNR vs acquisition time (order-7 modified PRS)");
+    table.set_header({"periods", "time_s", "SNR_mp", "SNR_sa", "gain"});
+    table.set_precision(2);
+
+    double time_to_10_mp = -1.0, time_to_10_sa = -1.0;
+    for (const std::size_t averages : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        core::SimulatorConfig mp = base;
+        mp.acquisition.averages = averages;
+        core::SimulatorConfig sa = mp;
+        sa.acquisition.mode = pipeline::AcquisitionMode::kSignalAveraging;
+        sa.acquisition.use_trap = false;
+
+        core::Simulator mp_sim(mp, mix);
+        core::Simulator sa_sim(sa, mix);
+        const double mp_snr = core::replicate_snr(mp_sim, replicates).mean;
+        const double sa_snr = core::replicate_snr(sa_sim, replicates).mean;
+        const double seconds =
+            static_cast<double>(averages) * mp_sim.engine().period_s();
+        if (time_to_10_mp < 0.0 && mp_snr >= 10.0) time_to_10_mp = seconds;
+        if (time_to_10_sa < 0.0 && sa_snr >= 10.0) time_to_10_sa = seconds;
+        table.add_row({static_cast<std::int64_t>(averages), seconds, mp_snr,
+                       sa_snr, sa_snr > 0.0 ? mp_snr / sa_snr : 0.0});
+    }
+    table.print(std::cout);
+    std::cout << "\ntime to reach SNR 10:  multiplexed "
+              << (time_to_10_mp >= 0.0 ? format_double(time_to_10_mp, 3) + " s"
+                                       : std::string(">64 periods"))
+              << ",  signal averaging "
+              << (time_to_10_sa >= 0.0 ? format_double(time_to_10_sa, 3) + " s"
+                                       : std::string(">64 periods"))
+              << "\n";
+    std::cout << "\nShape check: the multiplexed trace sits roughly an order of\n"
+                 "magnitude above signal averaging at every equal-time point\n"
+                 "(both grow ~sqrt(time)); the target-SNR time shrinks by the\n"
+                 "square of that gain.\n";
+    return 0;
+}

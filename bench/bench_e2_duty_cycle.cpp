@@ -1,0 +1,85 @@
+// E2 (Figure 2) — duty cycle and ion utilization across gate programs.
+//
+// Claims reproduced (#24, #26): conventional signal averaging uses <1% of
+// the ion beam; classic (stretched-gate) HT-IMS reaches ~50%; trap-based
+// multiplexed injection holds ~50% with uniform packets and exceeds it in
+// variable-gap (release-everything) mode.
+#include <iostream>
+#include <string>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+namespace {
+
+struct Program {
+    std::string name;
+    core::SimulatorConfig config;
+};
+
+}  // namespace
+
+int main() {
+    core::SimulatorConfig base = core::default_config();
+    base.tof.bins = 256;
+    base.acquisition.sequence_order = 8;
+    base.acquisition.averages = 1;
+    const auto mix = instrument::make_calibration_mix();
+
+    std::vector<Program> programs;
+    {
+        Program p{"SA, no trap (conventional IMS)", base};
+        p.config.acquisition.mode = pipeline::AcquisitionMode::kSignalAveraging;
+        p.config.acquisition.use_trap = false;
+        programs.push_back(p);
+    }
+    {
+        Program p{"SA, trap-and-release", base};
+        p.config.acquisition.mode = pipeline::AcquisitionMode::kSignalAveraging;
+        p.config.acquisition.use_trap = true;
+        programs.push_back(p);
+    }
+    {
+        Program p{"HT classic, stretched gate, no trap", base};
+        p.config.acquisition.oversampling = 1;
+        p.config.acquisition.gate_mode = prs::GateMode::kStretched;
+        p.config.acquisition.use_trap = false;
+        programs.push_back(p);
+    }
+    {
+        Program p{"HT modified PRS, pulsed + trap (fixed fill)", base};
+        p.config.acquisition.release_mode = pipeline::TrapReleaseMode::kFixedFill;
+        programs.push_back(p);
+    }
+    {
+        Program p{"HT modified PRS, pulsed + trap (variable gap)", base};
+        p.config.acquisition.release_mode = pipeline::TrapReleaseMode::kVariableGap;
+        programs.push_back(p);
+    }
+    {
+        Program p{"HT modified PRS, pulsed + trap + AGC", base};
+        p.config.acquisition.agc = true;
+        programs.push_back(p);
+    }
+
+    Table table("E2: duty cycle and ion utilization by gate program");
+    table.set_header({"program", "duty_%", "utilization_%", "pulses/period",
+                      "packet_charges"});
+    table.set_precision(2);
+    for (auto& p : programs) {
+        core::Simulator sim(p.config, mix);
+        const auto run = sim.run();
+        const auto pulses = static_cast<std::int64_t>(
+            p.config.acquisition.mode == pipeline::AcquisitionMode::kSignalAveraging
+                ? 1
+                : sim.engine().sequence().pulse_count());
+        table.add_row({p.name, 100.0 * run.acquisition.duty_cycle,
+                       100.0 * run.acquisition.utilization(), pulses,
+                       run.acquisition.mean_packet_charges});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: SA-no-trap <1%, classic HT ~50%, trap modes >=50%\n"
+                 "(variable-gap approaches the trap transmission limit of 90%).\n";
+    return 0;
+}

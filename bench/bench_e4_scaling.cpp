@@ -1,0 +1,50 @@
+// E4 (Figure 3) — strong scaling of the CPU software component.
+//
+// SC-style scaling curve: fixed frame (order 10, oversampling 2, 1024 m/z
+// channels), thread count swept. Channels are independent, so scaling is
+// limited only by memory bandwidth and the fork-join barrier. On a
+// single-core host the sweep degenerates to oversubscription (speedup ~1);
+// the harness reports whatever the machine provides.
+#include <iostream>
+#include <thread>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    const prs::OversampledPrs seq(10, 2, prs::GateMode::kPulsed);
+    pipeline::FrameLayout layout{.drift_bins = seq.length(),
+                                 .mz_bins = 1024,
+                                 .drift_bin_width_s = 15e-3 / 2046.0};
+    pipeline::Frame raw(layout);
+    Rng rng(7);
+    for (double& v : raw.data()) v = rng.uniform(0.0, 255.0);
+
+    std::cout << "hardware_concurrency = " << std::thread::hardware_concurrency()
+              << "\n";
+    Table table("E4: CPU backend strong scaling (fixed frame)");
+    table.set_header({"threads", "decode_ms", "speedup", "efficiency_%",
+                      "Msamples/s"});
+    table.set_precision(2);
+
+    double t1 = 0.0;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        pipeline::CpuBackend cpu(seq, layout, threads);
+        double best = 1e9;
+        for (int rep = 0; rep < 3; ++rep) {
+            (void)cpu.deconvolve(raw);
+            best = std::min(best, cpu.last_seconds());
+        }
+        if (threads == 1) t1 = best;
+        const double speedup = t1 / best;
+        table.add_row({static_cast<std::int64_t>(threads), best * 1e3, speedup,
+                       100.0 * speedup / static_cast<double>(threads),
+                       static_cast<double>(layout.cells()) / best / 1e6});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: near-linear scaling when physical cores are\n"
+                 "available (per-channel decomposition is embarrassingly\n"
+                 "parallel); flat on a single-core host.\n";
+    return 0;
+}

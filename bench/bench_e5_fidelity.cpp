@@ -1,0 +1,87 @@
+// E5 (Figure 4) — deconvolution fidelity under gate defects and noise.
+//
+// Claim reproduced (#46): real gates deliver non-uniform per-pulse ion
+// packets; the closed-form simplex inverse then leaves demultiplexing
+// artifacts that previously required sample-specific *weighting designs*.
+// We sweep the gate-amplitude jitter and compare three decoders on the
+// same defective record: the ideal simplex inverse, the weighted
+// least-squares inverse, and (for reference at zero defect) the enhanced
+// oversampled decoder.
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+namespace {
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+}  // namespace
+
+int main() {
+    const int order = 8;
+    const prs::MSequence seq(order);
+    const std::size_t n = seq.length();
+    Rng rng(31);
+
+    // Ground-truth drift profile: five peaks, quiet tail.
+    AlignedVector<double> x(n, 0.0);
+    for (int k = 0; k < 5; ++k) x[10 + rng.below(n * 3 / 4)] += rng.uniform(50.0, 400.0);
+    const double x_peak = *std::max_element(x.begin(), x.end());
+
+    Table table("E5: reconstruction error vs gate-amplitude jitter (order 8)");
+    table.set_header({"jitter_%", "noise_sigma", "ideal_rmse", "ideal_ghost_%",
+                      "weighted_rmse", "weighted_ghost_%"});
+    table.set_precision(3);
+
+    const transform::Deconvolver ideal(seq);
+    for (const double jitter : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        for (const double noise : {0.0, 2.0}) {
+            // Defective gate: per-open-bin amplitude 1 + jitter * N(0,1).
+            AlignedVector<double> weights(n, 1.0);
+            for (auto& w : weights)
+                w = std::max(0.0, 1.0 + jitter * rng.gaussian());
+            const transform::WeightedDeconvolver weighted(seq, weights);
+            auto y = weighted.encode(x);
+            for (auto& v : y) v += noise * rng.gaussian();
+
+            const auto xi = ideal.decode(y);
+            const auto xw = weighted.decode(y);
+
+            // Ghost level: worst absolute error at truly-empty bins,
+            // relative to the tallest true peak.
+            double ghost_i = 0.0, ghost_w = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (x[i] != 0.0) continue;
+                ghost_i = std::max(ghost_i, std::abs(xi[i]));
+                ghost_w = std::max(ghost_w, std::abs(xw[i]));
+            }
+            table.add_row({100.0 * jitter, noise, rmse(xi, x),
+                           100.0 * ghost_i / x_peak, rmse(xw, x),
+                           100.0 * ghost_w / x_peak});
+        }
+    }
+    table.print(std::cout);
+
+    // Reference: the enhanced oversampled decoder on a clean record
+    // resolves sub-chip structure exactly.
+    const prs::OversampledPrs ovs(order, 2, prs::GateMode::kPulsed);
+    const transform::EnhancedDeconvolver enhanced(ovs);
+    AlignedVector<double> xf(ovs.length(), 0.0);
+    xf[33] = 100.0;
+    xf[34] = 60.0;  // sub-chip pair
+    const auto yf = enhanced.encode(xf);
+    const auto back = enhanced.decode(yf);
+    std::cout << "\nEnhanced decoder (oversampling 2, clean record): max |err| = "
+              << format_double(max_abs_error(back, xf), 6)
+              << " on a sub-chip doublet (exact to FP round-off).\n";
+    std::cout << "\nShape check: ideal-inverse ghosts grow linearly with jitter;\n"
+                 "the weighted design removes them (residual ~ the additive "
+                 "noise).\n";
+    return 0;
+}

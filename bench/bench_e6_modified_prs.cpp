@@ -1,0 +1,68 @@
+// E6 (Figure 5) — properties of the PNNL-modified (oversampled) PRS.
+//
+// Claims reproduced (#46): the modified sequence provides ~2x more gate
+// pulses per unit time than classic HT-IMS of equal duration, needs no
+// weighting matrices (per-phase systems stay exactly binary), and buys
+// fine-grid resolution. We sweep the oversampling factor in both gate
+// modes and report the pulse budget plus the decoder's noise amplification
+// (stddev of decoded output for unit-variance input noise).
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+namespace {
+
+double noise_amplification(const transform::EnhancedDeconvolver& d, Rng& rng) {
+    AlignedVector<double> y(d.length());
+    RunningStats stats;
+    AlignedVector<double> x(d.length());
+    auto ws = d.make_workspace();
+    for (int rep = 0; rep < 8; ++rep) {
+        for (auto& v : y) v = rng.gaussian();
+        d.decode(y, x, ws);
+        for (double v : x) stats.add(v);
+    }
+    return stats.stddev();
+}
+
+}  // namespace
+
+int main() {
+    const int order = 8;
+    Rng rng(17);
+
+    Table table("E6: modified-PRS pulse budget and decoder noise (order 8)");
+    table.set_header({"mode", "factor", "fine_bins", "pulses", "pulses/chip-time",
+                      "open_%", "noise_amp"});
+    table.set_precision(3);
+
+    for (const auto mode : {prs::GateMode::kStretched, prs::GateMode::kPulsed}) {
+        for (const int factor : {1, 2, 4, 8}) {
+            const prs::OversampledPrs seq(order, factor, mode);
+            const transform::EnhancedDeconvolver dec(seq);
+            // Pulses per chip-duration: the wall-clock period equals N chip
+            // times regardless of factor, so pulses/period / N.
+            const double pulses_per_chip =
+                static_cast<double>(seq.pulse_count()) /
+                static_cast<double>(seq.base().length());
+            table.add_row({std::string(mode == prs::GateMode::kStretched
+                                           ? "stretched"
+                                           : "pulsed"),
+                           std::int64_t{factor},
+                           static_cast<std::int64_t>(seq.length()),
+                           static_cast<std::int64_t>(seq.pulse_count()),
+                           pulses_per_chip, 100.0 * seq.open_fraction(),
+                           noise_amplification(dec, rng)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: pulsed F>=2 doubles the pulse budget over the\n"
+                 "classic stretched sequence (0.25 -> 0.5 pulses per chip time)\n"
+                 "while the per-phase decoders remain exactly binary (no\n"
+                 "weighting matrices); stretched-mode noise amplification grows\n"
+                 "with factor because of the integration step, the documented\n"
+                 "trade-off of chip-wide gates.\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+// E8 (Table 2) — fixed-point precision of the FPGA deconvolver.
+//
+// The engineering question behind the paper's FPGA implementation: what
+// word widths does the enhanced deconvolution need? Because N+1 is a power
+// of two the simplex normalization is an exact shift, so the only error
+// sources are (a) the output Q-format quantization and (b) accumulator
+// saturation when the word is too narrow for the accumulated counts. Both
+// are swept against the double-precision decoder on the same frame.
+#include <cmath>
+#include <iostream>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+namespace {
+
+pipeline::Frame synthetic_raw(const prs::OversampledPrs& seq,
+                              const pipeline::FrameLayout& layout, double scale) {
+    transform::EnhancedDeconvolver enc(seq);
+    auto ws = enc.make_workspace();
+    pipeline::Frame raw(layout);
+    AlignedVector<double> x(layout.drift_bins, 0.0), y(layout.drift_bins);
+    Rng rng(55);
+    for (std::size_t m = 0; m < layout.mz_bins; ++m) {
+        // Dense baseline + spikes: a sparse spike-only profile would make
+        // the sample-rounding error alias onto a handful of bins (the
+        // m-sequence shift-and-add property) and leave every other decoded
+        // value exactly representable, hiding the quantization cost.
+        for (auto& v : x) v = 0.02 * scale * rng.uniform(0.0, 1.0);
+        for (int k = 0; k < 3; ++k)
+            x[rng.below(layout.drift_bins * 3 / 4)] = scale * rng.uniform(0.2, 1.0);
+        enc.encode_fast(x, y, ws);
+        for (auto& v : y) v = std::round(std::max(0.0, v));
+        raw.set_drift_profile(m, y);
+    }
+    return raw;
+}
+
+}  // namespace
+
+int main() {
+    const prs::OversampledPrs seq(8, 2, prs::GateMode::kPulsed);
+    pipeline::FrameLayout layout{.drift_bins = seq.length(),
+                                 .mz_bins = 64,
+                                 .drift_bin_width_s = 15e-3 / 510.0};
+    const pipeline::Frame raw = synthetic_raw(seq, layout, 200.0);
+
+    pipeline::CpuBackend cpu(seq, layout, 1);
+    const pipeline::Frame reference = cpu.deconvolve(raw);
+    double ref_peak = 0.0;
+    for (double v : reference.data()) ref_peak = std::max(ref_peak, v);
+
+    std::vector<std::uint32_t> samples(layout.cells());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        samples[i] = static_cast<std::uint32_t>(raw.data()[i]);
+
+    Table qtable("E8a: output Q-format sweep (32-bit accumulators)");
+    qtable.set_header({"total_bits", "frac_bits", "rmse_vs_double",
+                       "rmse_%of_peak", "max_err_LSBs"});
+    qtable.set_precision(4);
+    struct Fmt {
+        int total;
+        int frac;
+    };
+    for (const Fmt f : {Fmt{16, 2}, Fmt{16, 4}, Fmt{24, 4}, Fmt{24, 8},
+                        Fmt{32, 8}, Fmt{32, 12}}) {
+        pipeline::FpgaConfig cfg;
+        cfg.output_format = QFormat{f.total, f.frac};
+        pipeline::FpgaPipeline fpga(seq, layout, cfg);
+        fpga.begin_frame();
+        fpga.push_samples(samples);
+        const pipeline::Frame out = fpga.end_frame();
+        const double err = rmse(out.data(), reference.data());
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < out.data().size(); ++i)
+            max_err = std::max(max_err,
+                               std::abs(out.data()[i] - reference.data()[i]));
+        qtable.add_row({std::int64_t{f.total}, std::int64_t{f.frac}, err,
+                        100.0 * err / ref_peak,
+                        max_err / cfg.output_format.lsb()});
+    }
+    qtable.print(std::cout);
+
+    Table atable("E8b: accumulator width sweep (64 periods accumulated)");
+    atable.set_header({"acc_bits", "saturations", "rmse_vs_double_%peak"});
+    atable.set_precision(3);
+    const std::size_t periods = 64;
+    pipeline::Frame accumulated = raw;
+    accumulated.scale(static_cast<double>(periods));
+    const pipeline::Frame acc_reference = cpu.deconvolve(accumulated);
+    double acc_peak = 0.0;
+    for (double v : acc_reference.data()) acc_peak = std::max(acc_peak, v);
+    for (const int bits : {12, 16, 20, 24, 32}) {
+        pipeline::FpgaConfig cfg;
+        cfg.accumulator_bits = bits;
+        cfg.output_format = QFormat{48, 8};
+        pipeline::FpgaPipeline fpga(seq, layout, cfg);
+        fpga.begin_frame();
+        for (std::size_t p = 0; p < periods; ++p) fpga.push_samples(samples);
+        const pipeline::Frame out = fpga.end_frame();
+        atable.add_row({std::int64_t{bits},
+                        static_cast<std::int64_t>(
+                            fpga.report().accumulator_saturations),
+                        100.0 * rmse(out.data(), acc_reference.data()) / acc_peak});
+    }
+    atable.print(std::cout);
+    std::cout << "\nShape check: >= 8 fractional output bits reduce the error to\n"
+                 "a fraction of an LSB (the normalization shift is exact);\n"
+                 "accumulators saturate below ~20 bits at 64 accumulated\n"
+                 "periods of 8-bit samples, exactly as the word-growth bound\n"
+                 "8 + log2(64) + log2(N) predicts.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// Kernel microbenchmarks (google-benchmark): the computational primitives
+// whose cost determines every throughput number in E3/E4 — FWHT, the fast
+// simplex decode, the enhanced oversampled decode, the FPGA integer decode
+// path, and the SPSC streaming link.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "pipeline/fpga.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "prs/oversampled.hpp"
+#include "transform/deconvolver.hpp"
+#include "transform/enhanced.hpp"
+#include "transform/fwht.hpp"
+
+using namespace htims;
+
+static void BM_Fwht(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    AlignedVector<double> data(n);
+    Rng rng(1);
+    for (auto& v : data) v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        transform::fwht(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fwht)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void BM_SimplexDecode(benchmark::State& state) {
+    const int order = static_cast<int>(state.range(0));
+    const prs::MSequence seq(order);
+    const transform::Deconvolver d(seq);
+    auto ws = d.make_workspace();
+    AlignedVector<double> y(seq.length()), x(seq.length());
+    Rng rng(2);
+    for (auto& v : y) v = rng.uniform(0.0, 255.0);
+    for (auto _ : state) {
+        d.decode(y, x, ws);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(seq.length()));
+}
+BENCHMARK(BM_SimplexDecode)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+static void BM_EnhancedDecode(benchmark::State& state) {
+    const int factor = static_cast<int>(state.range(0));
+    const prs::OversampledPrs seq(10, factor, prs::GateMode::kStretched);
+    const transform::EnhancedDeconvolver d(seq);
+    auto ws = d.make_workspace();
+    AlignedVector<double> y(seq.length()), x(seq.length());
+    Rng rng(3);
+    for (auto& v : y) v = rng.uniform(0.0, 255.0);
+    for (auto _ : state) {
+        d.decode(y, x, ws);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(seq.length()));
+}
+BENCHMARK(BM_EnhancedDecode)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_FpgaFrameDecode(benchmark::State& state) {
+    const prs::OversampledPrs seq(8, 2, prs::GateMode::kPulsed);
+    pipeline::FrameLayout layout{.drift_bins = seq.length(),
+                                 .mz_bins = 64,
+                                 .drift_bin_width_s = 1e-4};
+    pipeline::FpgaPipeline fpga(seq, layout, pipeline::FpgaConfig{});
+    std::vector<std::uint32_t> samples(layout.cells());
+    Rng rng(4);
+    for (auto& s : samples) s = static_cast<std::uint32_t>(rng.below(256));
+    for (auto _ : state) {
+        fpga.begin_frame();
+        fpga.push_samples(samples);
+        auto frame = fpga.end_frame();
+        benchmark::DoNotOptimize(frame.data().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(layout.cells()));
+}
+BENCHMARK(BM_FpgaFrameDecode);
+
+static void BM_SpscRing(benchmark::State& state) {
+    pipeline::SpscRing<std::uint64_t> ring(1024);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        while (!ring.try_push(std::uint64_t{v})) {
+        }
+        auto out = ring.try_pop();
+        benchmark::DoNotOptimize(out);
+        ++v;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRing);
+
+BENCHMARK_MAIN();

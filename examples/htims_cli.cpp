@@ -1,0 +1,146 @@
+// htims_cli — command-line front end to the simulator.
+//
+// Runs one acquisition + deconvolution round with parameters from the
+// command line, prints the feature list, and optionally persists the
+// deconvolved frame in the binary container (readable back with
+// pipeline::load_frame).
+//
+//   $ ./examples/htims_cli --order 8 --oversampling 2 --averages 8
+//   $ ./examples/htims_cli --mode sa --averages 16 --save frame.htms
+//   $ ./examples/htims_cli --sample digest --count 100
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+namespace {
+
+void usage() {
+    std::cout <<
+        "usage: htims_cli [options]\n"
+        "  --mode mp|sa          gate program (default mp)\n"
+        "  --order N             PRS order 2..20 (default 8)\n"
+        "  --oversampling F      fine bins per chip (default 2)\n"
+        "  --averages A          periods per frame (default 8)\n"
+        "  --backend cpu|fpga    processing backend (default cpu)\n"
+        "  --sample mix|digest   calibration mix or synthetic digest\n"
+        "  --count N             digest size (default 100)\n"
+        "  --seed S              acquisition RNG seed\n"
+        "  --save PATH           write the deconvolved frame (binary)\n"
+        "  --csv                 print the feature table as CSV\n"
+        "  --help                this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    core::SimulatorConfig cfg = core::default_config();
+    std::string sample = "mix";
+    std::size_t digest_count = 100;
+    std::string save_path;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--mode") {
+            const std::string v = next();
+            cfg.acquisition.mode = v == "sa"
+                                       ? pipeline::AcquisitionMode::kSignalAveraging
+                                       : pipeline::AcquisitionMode::kMultiplexed;
+            if (v == "sa") cfg.acquisition.use_trap = false;
+        } else if (arg == "--order") {
+            cfg.acquisition.sequence_order = std::atoi(next().c_str());
+        } else if (arg == "--oversampling") {
+            cfg.acquisition.oversampling = std::atoi(next().c_str());
+        } else if (arg == "--averages") {
+            cfg.acquisition.averages = static_cast<std::size_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--backend") {
+            cfg.backend = next() == "fpga" ? pipeline::BackendKind::kFpga
+                                           : pipeline::BackendKind::kCpu;
+        } else if (arg == "--sample") {
+            sample = next();
+        } else if (arg == "--count") {
+            digest_count = static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--seed") {
+            cfg.acquisition.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--save") {
+            save_path = next();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    instrument::SampleMixture mixture;
+    if (sample == "digest") {
+        instrument::PeptideLibraryConfig lib;
+        lib.count = digest_count;
+        mixture = instrument::make_tryptic_digest(lib);
+    } else {
+        mixture = instrument::make_calibration_mix();
+    }
+
+    try {
+        core::Simulator simulator(cfg, mixture);
+        const auto run = simulator.run();
+
+        std::cout << "sample: " << mixture.name << "\n"
+                  << "frame: " << run.deconvolved.drift_bins() << " x "
+                  << run.deconvolved.mz_bins() << ", duty "
+                  << format_double(100.0 * run.acquisition.duty_cycle, 1)
+                  << "%, utilization "
+                  << format_double(100.0 * run.acquisition.utilization(), 1)
+                  << "%, decode "
+                  << format_double(1e3 * run.decode_seconds, 2) << " ms\n";
+        if (run.fpga)
+            std::cout << "fpga: " << run.fpga->total_cycles() << " cycles, "
+                      << run.fpga->accumulator_saturations << " saturations\n";
+
+        const instrument::TofAnalyzer tof(cfg.tof);
+        core::FeatureFindOptions opts;
+        opts.min_snr = 5.0;
+        const auto features = core::find_features(run.deconvolved, tof, opts);
+
+        Table table("features (top 20 by intensity)");
+        table.set_header({"mono_mz", "z", "drift_bin", "isotopes", "intensity"});
+        table.set_precision(3);
+        for (std::size_t i = 0; i < std::min<std::size_t>(20, features.size()); ++i) {
+            const auto& f = features[i];
+            table.add_row({f.monoisotopic_mz, static_cast<std::int64_t>(f.charge),
+                           static_cast<std::int64_t>(f.drift_bin),
+                           static_cast<std::int64_t>(f.isotope_count), f.intensity});
+        }
+        if (csv)
+            table.print_csv(std::cout);
+        else
+            table.print(std::cout);
+        std::cout << features.size() << " features total\n";
+
+        if (!save_path.empty()) {
+            pipeline::save_frame(save_path, run.deconvolved);
+            std::cout << "frame written to " << save_path << "\n";
+        }
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

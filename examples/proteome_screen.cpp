@@ -1,0 +1,65 @@
+// proteome_screen — the workload the instrument was built for: a bottom-up
+// proteomics screen of a tryptic digest over an LC gradient.
+//
+// A synthetic 120-peptide digest elutes over a gradient; the simulator
+// acquires multiplexed frames at successive LC time points, and each
+// frame's deconvolved drift/mz map is searched for the currently eluting
+// species. Compare with examples/quickstart.cpp for the single-frame API.
+//
+//   $ ./examples/proteome_screen
+#include <iostream>
+#include <set>
+
+#include "core/htims.hpp"
+
+using namespace htims;
+
+int main() {
+    // Synthetic digest: 120 peptides, abundances spanning 2.3 decades,
+    // eluting between t=60 s and t=540 s.
+    instrument::PeptideLibraryConfig lib;
+    lib.count = 120;
+    lib.abundance_min = 5e3;
+    lib.abundance_max = 1e6;
+    lib.gradient_start_s = 60.0;
+    lib.gradient_end_s = 540.0;
+    const auto digest = instrument::make_tryptic_digest(lib);
+
+    core::SimulatorConfig config = core::default_config();
+    config.tof.bins = 1024;
+    config.acquisition.averages = 4;
+    config.lc_mode = true;  // species currents follow their LC peaks
+
+    core::Simulator simulator(config, digest);
+
+    std::set<std::string> detected;
+    Table timeline("LC-IMS-TOF screen timeline");
+    timeline.set_header({"t_s", "eluting", "frame_new_IDs", "cumulative"});
+    AlignedVector<double> profile(simulator.layout().drift_bins);
+
+    for (double t = 45.0; t <= 555.0; t += 30.0) {
+        const auto run = simulator.run(t);
+        std::size_t eluting = 0, fresh = 0;
+        for (const auto& trace : run.acquisition.traces) {
+            if (trace.expected_ions < 0.01) continue;
+            ++eluting;
+            if (detected.count(trace.name)) continue;
+            run.deconvolved.drift_profile(trace.mz_bin, profile);
+            const auto peaks = core::pick_peaks(profile);
+            if (core::detected_near(peaks, trace.drift_bin,
+                                    3.0 + 3.0 * trace.drift_sigma_bins, 3.0,
+                                    profile.size())) {
+                detected.insert(trace.name);
+                ++fresh;
+            }
+        }
+        timeline.add_row({t, static_cast<std::int64_t>(eluting),
+                          static_cast<std::int64_t>(fresh),
+                          static_cast<std::int64_t>(detected.size())});
+    }
+    timeline.print(std::cout);
+    std::cout << "\nscreen complete: " << detected.size() << "/"
+              << digest.species.size() << " peptides identified across the "
+              << "gradient\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+// aligned_buffer.hpp — cache-line / SIMD aligned contiguous storage.
+//
+// Spectra and frames are large flat arrays that are streamed through tight
+// accumulation loops; 64-byte alignment keeps them friendly to vectorized
+// code paths and avoids false sharing when threads own disjoint slices.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace htims {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Minimal allocator providing kCacheLine-aligned storage for std::vector.
+template <typename T>
+struct AlignedAllocator {
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+    T* allocate(std::size_t n) {
+        if (n == 0) return nullptr;
+        void* p = ::operator new(n * sizeof(T), std::align_val_t(kCacheLine));
+        return static_cast<T*>(p);
+    }
+
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t(kCacheLine));
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U>&) const noexcept {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const AlignedAllocator<U>&) const noexcept {
+        return false;
+    }
+};
+
+/// Cache-aligned vector used for all hot-path numeric arrays.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace htims

@@ -1,0 +1,55 @@
+// error.hpp — contract-checking macros and the library exception hierarchy.
+//
+// Follows the C++ Core Guidelines (I.6/I.8, E.x): preconditions are stated at
+// the interface and violations surface as typed exceptions rather than UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace htims {
+
+/// Base class for all htims errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+public:
+    explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed (library bug or numeric breakdown).
+class InvariantError : public Error {
+public:
+    explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// A configuration value is out of the supported range.
+class ConfigError : public Error {
+public:
+    explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(const char* cond, const char* file, int line) {
+    throw PreconditionError(std::string("precondition failed: ") + cond + " at " + file +
+                            ":" + std::to_string(line));
+}
+[[noreturn]] inline void fail_ensures(const char* cond, const char* file, int line) {
+    throw InvariantError(std::string("invariant failed: ") + cond + " at " + file + ":" +
+                         std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace htims
+
+/// Check a documented precondition; throws htims::PreconditionError on failure.
+#define HTIMS_EXPECTS(cond) \
+    ((cond) ? void(0) : ::htims::detail::fail_expects(#cond, __FILE__, __LINE__))
+
+/// Check an internal invariant; throws htims::InvariantError on failure.
+#define HTIMS_ENSURES(cond) \
+    ((cond) ? void(0) : ::htims::detail::fail_ensures(#cond, __FILE__, __LINE__))

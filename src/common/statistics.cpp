@@ -1,0 +1,175 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace htims {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double s2 = 0.0;
+    for (double x : xs) s2 += (x - m) * (x - m);
+    return std::sqrt(s2 / static_cast<double>(xs.size() - 1));
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+    HTIMS_EXPECTS(a.size() == b.size());
+    if (a.empty()) return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+    HTIMS_EXPECTS(p >= 0.0 && p <= 100.0);
+    if (xs.empty()) return 0.0;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double mad_sigma(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    std::vector<double> tmp(xs.begin(), xs.end());
+    const auto mid = tmp.begin() + static_cast<std::ptrdiff_t>(tmp.size() / 2);
+    std::nth_element(tmp.begin(), mid, tmp.end());
+    const double med = *mid;
+    for (double& t : tmp) t = std::abs(t - med);
+    std::nth_element(tmp.begin(), mid, tmp.end());
+    return 1.4826 * *mid;
+}
+
+namespace {
+double spectrum_median(std::span<const double> xs) {
+    std::vector<double> tmp(xs.begin(), xs.end());
+    const auto mid = tmp.begin() + static_cast<std::ptrdiff_t>(tmp.size() / 2);
+    std::nth_element(tmp.begin(), mid, tmp.end());
+    return *mid;
+}
+}  // namespace
+
+namespace {
+// Noise estimate for SNR purposes: the scaled MAD is the first choice (robust
+// against peaks), but on sparse records — e.g. zero-clamped ADC baselines
+// where more than half the samples are exactly zero — the MAD collapses to 0
+// and would inflate the SNR without bound. Fall back to the plain standard
+// deviation in that case, which still sees sparse Poisson spikes.
+double noise_sigma_for_snr(std::span<const double> xs) {
+    const double robust = mad_sigma(xs);
+    if (robust > 0.0) return robust;
+    return stddev(xs);
+}
+}  // namespace
+
+double spectrum_snr(std::span<const double> spectrum) {
+    if (spectrum.empty()) return 0.0;
+    const double baseline = spectrum_median(spectrum);
+    const double noise = noise_sigma_for_snr(spectrum);
+    const double peak = *std::max_element(spectrum.begin(), spectrum.end());
+    if (noise <= 0.0) return peak > baseline ? std::numeric_limits<double>::infinity() : 0.0;
+    return (peak - baseline) / noise;
+}
+
+double region_snr(std::span<const double> spectrum, std::size_t lo, std::size_t hi) {
+    HTIMS_EXPECTS(lo < hi && hi <= spectrum.size());
+    std::vector<double> outside;
+    outside.reserve(spectrum.size() - (hi - lo));
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+        if (i < lo || i >= hi) outside.push_back(spectrum[i]);
+    const double baseline = outside.empty() ? 0.0 : spectrum_median(outside);
+    const double noise = outside.empty() ? 0.0 : noise_sigma_for_snr(outside);
+    double peak = spectrum[lo];
+    for (std::size_t i = lo; i < hi; ++i) peak = std::max(peak, spectrum[i]);
+    if (noise <= 0.0) return peak > baseline ? std::numeric_limits<double>::infinity() : 0.0;
+    return (peak - baseline) / noise;
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+    HTIMS_EXPECTS(a.size() == b.size());
+    if (a.size() < 2) return 0.0;
+    const double ma = mean(a);
+    const double mb = mean(b);
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+    return sab / std::sqrt(saa * sbb);
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+    HTIMS_EXPECTS(x.size() == y.size());
+    HTIMS_EXPECTS(x.size() >= 2);
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+    }
+    LinearFit fit;
+    fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+    fit.intercept = my - fit.slope * mx;
+    return fit;
+}
+
+}  // namespace htims

@@ -1,0 +1,73 @@
+// statistics.hpp — descriptive statistics and signal-quality metrics.
+//
+// Used throughout the evaluation harness: SNR estimation from deconvolved
+// drift spectra, reconstruction RMSE, percentiles for latency reporting, and
+// Welford-style running moments for streaming use.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace htims {
+
+/// Numerically stable running mean/variance (Welford). Suitable for long
+/// streaming accumulations where naive sum-of-squares would lose precision.
+class RunningStats {
+public:
+    void add(double x);
+    void merge(const RunningStats& other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span (0 for empty input).
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+double stddev(std::span<const double> xs);
+
+/// Root-mean-square difference between two equal-length signals.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Linear interpolation percentile, p in [0,100]. Copies and sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Median absolute deviation scaled to estimate sigma for Gaussian noise
+/// (x1.4826). Robust baseline-noise estimator for spectra containing peaks.
+double mad_sigma(std::span<const double> xs);
+
+/// Peak signal-to-noise ratio of a spectrum: (max - baseline) / noise_sigma,
+/// where the baseline and noise sigma are estimated robustly (median and
+/// MAD) over the whole spectrum. This mirrors how IMS papers quote SNR for
+/// a known analyte peak.
+double spectrum_snr(std::span<const double> spectrum);
+
+/// SNR of a specific region: peak height above baseline at [lo, hi) divided
+/// by the robust noise sigma of everything outside the region.
+double region_snr(std::span<const double> spectrum, std::size_t lo, std::size_t hi);
+
+/// Pearson correlation of two equal-length signals; 0 if degenerate.
+double correlation(std::span<const double> a, std::span<const double> b);
+
+/// Simple ordinary least squares fit y = a + b x; returns {a, b}.
+struct LinearFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace htims

@@ -1,0 +1,90 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace htims {
+
+namespace {
+std::string render_cell(const Cell& c, int precision) {
+    if (const auto* s = std::get_if<std::string>(&c)) return *s;
+    if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+    return format_double(std::get<double>(c), precision);
+}
+}  // namespace
+
+std::string format_double(double v, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+void Table::set_header(std::vector<std::string> header) {
+    HTIMS_EXPECTS(rows_.empty());
+    header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<Cell> row) {
+    HTIMS_EXPECTS(header_.empty() || row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            r.push_back(render_cell(row[i], precision_));
+            if (widths.size() <= i) widths.resize(i + 1);
+            widths[i] = std::max(widths[i], r.back().size());
+        }
+        rendered.push_back(std::move(r));
+    }
+
+    if (!title_.empty()) os << "== " << title_ << " ==\n";
+    auto print_sep = [&] {
+        for (std::size_t w : widths) os << '+' << std::string(w + 2, '-');
+        os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& s = i < cells.size() ? cells[i] : std::string{};
+            os << "| " << s << std::string(widths[i] - s.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    print_sep();
+    if (!header_.empty()) {
+        print_row(header_);
+        print_sep();
+    }
+    for (const auto& r : rendered) print_row(r);
+    print_sep();
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) os << ',';
+            os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) emit(header_);
+    for (const auto& row : rows_) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (const auto& c : row) r.push_back(render_cell(c, precision_));
+        emit(r);
+    }
+}
+
+}  // namespace htims

@@ -1,0 +1,52 @@
+// table.hpp — ASCII table and CSV emitters for the experiment harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// this keeps the formatting consistent and lets EXPERIMENTS.md be assembled
+// by copy-paste from the bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace htims {
+
+/// A table cell: string, integer, or floating point (printed with the
+/// column's precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned ASCII table with an optional title, emitted to any stream.
+class Table {
+public:
+    explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+    /// Set the header row. Must be called before adding rows.
+    void set_header(std::vector<std::string> header);
+
+    /// Set the number of digits printed after the decimal point for doubles
+    /// (default 3).
+    void set_precision(int digits) { precision_ = digits; }
+
+    void add_row(std::vector<Cell> row);
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Render as an aligned ASCII table.
+    void print(std::ostream& os) const;
+
+    /// Render as CSV (header + rows).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<Cell>> rows_;
+    int precision_ = 3;
+};
+
+/// Format a double with fixed precision into a string (helper shared with
+/// bench binaries that print free-form lines).
+std::string format_double(double v, int precision = 3);
+
+}  // namespace htims

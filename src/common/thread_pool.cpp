@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace htims {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    HTIMS_EXPECTS(task != nullptr);
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t workers = size();
+    if (workers <= 1 || n < 2 * workers) {
+        fn(0, n);
+        return;
+    }
+    const std::size_t chunk = (n + workers - 1) / workers;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, n);
+        submit([&fn, begin, end] { fn(begin, end); });
+    }
+    wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace htims

@@ -1,0 +1,58 @@
+// thread_pool.hpp — a small task pool with a blocked-range parallel_for.
+//
+// The CPU software component of the pipeline parallelises deconvolution over
+// independent m/z channels; that decomposition needs nothing more exotic
+// than a fork-join parallel_for with static chunking (the per-channel work
+// is uniform). The pool is created once and reused so thread-creation cost
+// never appears inside timed regions — the same discipline an OpenMP runtime
+// applies.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace htims {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; wait_idle()
+/// provides the join point for fork-join use.
+class ThreadPool {
+public:
+    /// Create `threads` workers (defaults to hardware concurrency, min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue one task.
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished.
+    void wait_idle();
+
+    /// Run fn(begin, end) over [0, n) split into roughly equal chunks, one
+    /// per worker, and wait for completion. Runs inline when the pool has a
+    /// single worker or n is small, so the call is always safe to nest in
+    /// tests.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace htims

@@ -1,0 +1,32 @@
+// timer.hpp — wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace htims {
+
+/// Simple steady-clock stopwatch.
+class WallTimer {
+public:
+    WallTimer() : start_(Clock::now()) {}
+
+    void restart() { start_ = Clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    double millis() const { return seconds() * 1e3; }
+    double micros() const { return seconds() * 1e6; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Items-per-second helper for throughput reporting.
+inline double rate_per_second(std::uint64_t items, double seconds) {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+}
+
+}  // namespace htims

@@ -1,0 +1,63 @@
+#include "core/ccs.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "instrument/constants.hpp"
+
+namespace htims::core {
+
+double k0_from_drift_time(const instrument::DriftCellConfig& cell,
+                          double drift_time_s) {
+    HTIMS_EXPECTS(drift_time_s > 0.0);
+    const double k = cell.length_m * cell.length_m / (cell.voltage_v * drift_time_s);
+    // Undo the STP scaling applied by DriftCell::mobility.
+    const double scale = 1e-4 * (instrument::kStandardPressureTorr / cell.pressure_torr) *
+                         (cell.temperature_k / instrument::kStandardTemperatureK);
+    return k / scale;
+}
+
+double ccs_from_k0(double k0, double ion_mass_da, int charge,
+                   const instrument::DriftCellConfig& cell, const BufferGas& gas) {
+    HTIMS_EXPECTS(k0 > 0.0 && ion_mass_da > 0.0 && charge >= 1);
+    // Mobility at cell conditions, SI.
+    const double k = k0 * 1e-4 *
+                     (instrument::kStandardPressureTorr / cell.pressure_torr) *
+                     (cell.temperature_k / instrument::kStandardTemperatureK);
+    // Buffer gas number density at cell conditions.
+    const double pressure_pa = cell.pressure_torr * 133.32236842105263;
+    const double n = pressure_pa / (instrument::kBoltzmann * cell.temperature_k);
+    // Reduced mass.
+    const double m_ion = ion_mass_da * instrument::kDaltonKg;
+    const double m_gas = gas.mass_da * instrument::kDaltonKg;
+    const double mu = m_ion * m_gas / (m_ion + m_gas);
+
+    const double q = static_cast<double>(charge) * instrument::kElementaryCharge;
+    const double omega =
+        (3.0 * q / (16.0 * n)) *
+        std::sqrt(2.0 * 3.14159265358979323846 /
+                  (mu * instrument::kBoltzmann * cell.temperature_k)) /
+        k;
+    return omega * 1e20;  // m^2 -> Å^2
+}
+
+DriftCalibration fit_drift_calibration(const std::vector<DriftCalibrant>& calibrants) {
+    HTIMS_EXPECTS(calibrants.size() >= 2);
+    // Linear in 1/K0: t_d = slope * (1/K0) + intercept.
+    std::vector<double> x, y;
+    x.reserve(calibrants.size());
+    y.reserve(calibrants.size());
+    for (const auto& c : calibrants) {
+        HTIMS_EXPECTS(c.known_k0 > 0.0);
+        x.push_back(1.0 / c.known_k0);
+        y.push_back(c.measured_drift_s);
+    }
+    const LinearFit fit = linear_fit(x, y);
+    DriftCalibration cal;
+    cal.slope = fit.slope;
+    cal.intercept = fit.intercept;
+    return cal;
+}
+
+}  // namespace htims::core

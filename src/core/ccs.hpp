@@ -1,0 +1,60 @@
+// ccs.hpp — collision cross sections from drift times.
+//
+// The scientific quantity an IMS measurement reports is the ion-neutral
+// momentum-transfer collision cross section (CCS, Ω). The Mason–Schamp
+// equation links it to the measured mobility:
+//
+//   K = (3 q / 16 N) sqrt(2 pi / (mu kB T)) / Omega
+//
+// with N the buffer-gas number density and mu the reduced mass. This module
+// converts measured drift times back to K0 and Ω, and provides the
+// single-point drift-time calibration (t_d = beta / K0 + t0) instruments
+// use to absorb the fixed flight time outside the drift region.
+#pragma once
+
+#include <vector>
+
+#include "instrument/mobility.hpp"
+
+namespace htims::core {
+
+/// Buffer gas description for the reduced-mass term.
+struct BufferGas {
+    double mass_da = 28.0134;  ///< N2 by default
+};
+
+/// Reduced mobility K0 (cm^2 V^-1 s^-1) from a measured drift time through
+/// a cell of known geometry: inverts t_d = L^2 / (K V) and rescales to STP.
+double k0_from_drift_time(const instrument::DriftCellConfig& cell, double drift_time_s);
+
+/// Momentum-transfer collision cross section (in Å^2) from a reduced
+/// mobility, ion mass (Da) and charge, for the given buffer gas at the
+/// cell temperature.
+double ccs_from_k0(double k0, double ion_mass_da, int charge,
+                   const instrument::DriftCellConfig& cell,
+                   const BufferGas& gas = {});
+
+/// Linear drift-time calibration t_d = slope / K0 + intercept, fitted from
+/// calibrant species with known K0 and measured drift times. The intercept
+/// absorbs time spent outside the drift region.
+struct DriftCalibration {
+    double slope = 0.0;      ///< seconds * (cm^2 V^-1 s^-1)
+    double intercept = 0.0;  ///< seconds
+
+    /// Invert the calibration: measured drift time -> K0.
+    double k0(double drift_time_s) const {
+        const double t = drift_time_s - intercept;
+        return t > 0.0 ? slope / t : 0.0;
+    }
+};
+
+/// One calibrant: known K0 and the drift time observed for it.
+struct DriftCalibrant {
+    double known_k0 = 0.0;
+    double measured_drift_s = 0.0;
+};
+
+/// Least-squares fit of the linear calibration (needs >= 2 calibrants).
+DriftCalibration fit_drift_calibration(const std::vector<DriftCalibrant>& calibrants);
+
+}  // namespace htims::core

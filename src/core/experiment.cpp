@@ -1,0 +1,67 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+
+namespace htims::core {
+
+SimulatorConfig default_config() {
+    SimulatorConfig config;
+    config.cell.length_m = 0.9;
+    config.cell.voltage_v = 4000.0;
+    config.cell.pressure_torr = 4.0;
+    config.cell.temperature_k = 300.0;
+    config.cell.gate_width_s = 100e-6;
+
+    config.tof.mz_min = 100.0;
+    config.tof.mz_max = 3200.0;
+    config.tof.bins = 2048;
+    config.tof.resolving_power = 8000.0;
+
+    config.detector.gain = 1.0;
+    config.detector.gain_spread = 0.35;
+    config.detector.noise_sigma = 0.4;
+    config.detector.dark_rate = 0.02;
+    config.detector.adc_bits = 8;
+
+    config.trap.capacity_charges = 3.0e7;
+    config.trap.transmission = 0.9;
+
+    config.acquisition.mode = pipeline::AcquisitionMode::kMultiplexed;
+    config.acquisition.sequence_order = 8;
+    config.acquisition.oversampling = 2;
+    config.acquisition.gate_mode = prs::GateMode::kPulsed;
+    config.acquisition.averages = 4;
+    config.acquisition.use_trap = true;
+    return config;
+}
+
+double mean_species_snr(const RunResult& result) {
+    if (result.acquisition.traces.empty()) return 0.0;
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (const auto& trace : result.acquisition.traces) {
+        const double snr = species_snr(result.deconvolved, trace);
+        if (std::isfinite(snr)) {
+            total += snr;
+            ++counted;
+        }
+    }
+    return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+SnrSummary replicate_snr(Simulator& simulator, int replicates, double start_time_s) {
+    SnrSummary summary;
+    summary.replicates = replicates;
+    RunningStats stats;
+    for (int r = 0; r < replicates; ++r) {
+        const RunResult result = simulator.run(start_time_s);
+        stats.add(mean_species_snr(result));
+    }
+    summary.mean = stats.mean();
+    summary.stddev = stats.stddev();
+    return summary;
+}
+
+}  // namespace htims::core

@@ -1,0 +1,30 @@
+// experiment.hpp — shared scaffolding for the evaluation harness.
+//
+// The bench binaries (bench/e*.cpp) regenerate the paper's tables and
+// figures; this header centralizes the default instrument configuration
+// and the replicate/summary helpers so every experiment runs against the
+// same physical baseline.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "instrument/peptide_library.hpp"
+
+namespace htims::core {
+
+/// The default instrument used across experiments: ~1 m drift tube at
+/// 4 Torr, oa-TOF with 8-bit detection, 3e7-charge funnel trap, order-8
+/// pulsed modified PRS with oversampling 2.
+SimulatorConfig default_config();
+
+/// Mean SNR over every species trace of a run.
+double mean_species_snr(const RunResult& result);
+
+/// Mean/stddev over technical replicates of the per-run mean species SNR.
+struct SnrSummary {
+    double mean = 0.0;
+    double stddev = 0.0;
+    int replicates = 0;
+};
+SnrSummary replicate_snr(Simulator& simulator, int replicates, double start_time_s = 0.0);
+
+}  // namespace htims::core

@@ -1,0 +1,157 @@
+#include "core/feature_finder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.hpp"
+#include "core/peaks.hpp"
+#include "instrument/constants.hpp"
+
+namespace htims::core {
+
+std::vector<FramePeak> find_frame_peaks(const pipeline::Frame& frame,
+                                        const instrument::TofAnalyzer& tof,
+                                        const FeatureFindOptions& options) {
+    const std::size_t drift_bins = frame.drift_bins();
+    const std::size_t mz_bins = frame.mz_bins();
+    std::vector<FramePeak> peaks;
+
+    // Per-channel robust baselines (computed once per m/z column).
+    AlignedVector<double> profile(drift_bins);
+    std::vector<Baseline> baselines(mz_bins);
+    for (std::size_t m = 0; m < mz_bins; ++m) {
+        frame.drift_profile(m, profile);
+        baselines[m] = estimate_baseline(profile);
+    }
+
+    for (std::size_t d = 0; d < drift_bins; ++d) {
+        const std::size_t dm = (d + drift_bins - 1) % drift_bins;
+        const std::size_t dp = (d + 1) % drift_bins;
+        for (std::size_t m = 0; m < mz_bins; ++m) {
+            const double v = frame.at(d, m);
+            const Baseline& base = baselines[m];
+            const double height = v - base.level;
+            if (height < options.min_intensity) continue;
+            const double noise = base.sigma > 0.0 ? base.sigma : 1e-12;
+            if (height < options.min_snr * noise) continue;
+            // 3x3 local maximum (strict against later neighbours so plateaus
+            // yield exactly one peak).
+            bool is_max = true;
+            for (const std::size_t dd : {dm, d, dp}) {
+                const std::size_t m_lo = m > 0 ? m - 1 : m;
+                const std::size_t m_hi = m + 1 < mz_bins ? m + 1 : m;
+                for (std::size_t mm = m_lo; mm <= m_hi && is_max; ++mm) {
+                    if (dd == d && mm == m) continue;
+                    const double w = frame.at(dd, mm);
+                    const bool later = dd > d || (dd == d && mm > m);
+                    if (later ? w >= v : w > v) is_max = false;
+                }
+                if (!is_max) break;
+            }
+            if (!is_max) continue;
+
+            FramePeak p;
+            p.drift_bin = d;
+            p.mz_bin = m;
+            p.intensity = height;
+            p.snr = height / noise;
+            // Sub-bin m/z centroid over the +-1 neighbours in the record.
+            double wsum = 0.0, wx = 0.0;
+            for (std::size_t mm = (m > 0 ? m - 1 : m);
+                 mm <= std::min(m + 1, mz_bins - 1); ++mm) {
+                const double w = std::max(0.0, frame.at(d, mm) - baselines[mm].level);
+                wsum += w;
+                wx += w * tof.bin_center(mm);
+            }
+            p.mz = wsum > 0.0 ? wx / wsum : tof.bin_center(m);
+            peaks.push_back(p);
+        }
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const FramePeak& a, const FramePeak& b) {
+                  return a.intensity > b.intensity;
+              });
+    return peaks;
+}
+
+std::vector<Feature> group_isotopes(const std::vector<FramePeak>& peaks,
+                                    const FeatureFindOptions& options) {
+    std::vector<Feature> features;
+    std::vector<bool> used(peaks.size(), false);
+
+    auto drift_close = [&](std::size_t a, std::size_t b) {
+        const std::size_t d = a > b ? a - b : b - a;
+        return d <= options.drift_tolerance;
+    };
+
+    for (std::size_t seed = 0; seed < peaks.size(); ++seed) {
+        if (used[seed]) continue;
+        const FramePeak& anchor = peaks[seed];
+
+        std::vector<std::size_t> best_series;
+        int best_charge = 0;
+        for (int z = options.max_charge; z >= 1; --z) {
+            const double spacing =
+                instrument::kIsotopeSpacingDa / static_cast<double>(z);
+            std::vector<std::size_t> series{seed};
+            double expect = anchor.mz + spacing;
+            for (;;) {
+                std::size_t next = peaks.size();
+                double best_err = options.mz_tolerance;
+                for (std::size_t j = 0; j < peaks.size(); ++j) {
+                    if (used[j] || j == seed) continue;
+                    bool in_series = false;
+                    for (std::size_t s : series) in_series |= (s == j);
+                    if (in_series) continue;
+                    if (!drift_close(peaks[j].drift_bin, anchor.drift_bin)) continue;
+                    const double err = std::abs(peaks[j].mz - expect);
+                    if (err < best_err) {
+                        best_err = err;
+                        next = j;
+                    }
+                }
+                if (next == peaks.size()) break;
+                series.push_back(next);
+                expect += spacing;
+            }
+            if (series.size() > best_series.size()) {
+                best_series = series;
+                best_charge = z;
+            }
+        }
+
+        Feature f;
+        if (best_series.size() >= options.min_isotopes) {
+            f.charge = best_charge;
+            f.isotope_count = best_series.size();
+            f.monoisotopic_mz = anchor.mz;
+            f.drift_bin = anchor.drift_bin;
+            for (std::size_t j : best_series) {
+                f.intensity += peaks[j].intensity;
+                f.monoisotopic_mz = std::min(f.monoisotopic_mz, peaks[j].mz);
+                used[j] = true;
+            }
+        } else {
+            f.charge = 0;
+            f.isotope_count = 1;
+            f.monoisotopic_mz = anchor.mz;
+            f.drift_bin = anchor.drift_bin;
+            f.intensity = anchor.intensity;
+            used[seed] = true;
+        }
+        features.push_back(f);
+    }
+    std::sort(features.begin(), features.end(),
+              [](const Feature& a, const Feature& b) {
+                  return a.intensity > b.intensity;
+              });
+    return features;
+}
+
+std::vector<Feature> find_features(const pipeline::Frame& frame,
+                                   const instrument::TofAnalyzer& tof,
+                                   const FeatureFindOptions& options) {
+    return group_isotopes(find_frame_peaks(frame, tof, options), options);
+}
+
+}  // namespace htims::core

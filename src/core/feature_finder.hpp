@@ -1,0 +1,72 @@
+// feature_finder.hpp — 2-D feature detection in deconvolved frames.
+//
+// The downstream consumer of the pipeline's output is feature finding: the
+// drift x m/z frame is searched for 2-D peaks, and peaks that line up as an
+// isotope series (spacing 1.00335/z on the m/z axis at the same drift time)
+// are grouped into one *feature* with an inferred charge state — the unit
+// that an LC-IMS-MS proteomics pipeline accumulates into peptide
+// observations (cf. the accurate-mass-and-time-tag workflow the PNNL
+// platform feeds).
+#pragma once
+
+#include <vector>
+
+#include "instrument/tof.hpp"
+#include "pipeline/frame.hpp"
+
+namespace htims::core {
+
+/// One 2-D local maximum in a frame.
+struct FramePeak {
+    std::size_t drift_bin = 0;
+    std::size_t mz_bin = 0;
+    double mz = 0.0;          ///< centroided m/z (sub-bin)
+    double intensity = 0.0;   ///< apex height above local baseline
+    double snr = 0.0;
+};
+
+/// An isotope-grouped feature.
+struct Feature {
+    double monoisotopic_mz = 0.0;  ///< centroid of the lightest member
+    int charge = 0;                ///< inferred from isotope spacing (0 = unknown)
+    std::size_t drift_bin = 0;
+    double intensity = 0.0;        ///< summed member intensity
+    std::size_t isotope_count = 0; ///< members in the series
+    double neutral_mass() const {
+        return charge > 0
+                   ? (monoisotopic_mz - 1.007276466) * static_cast<double>(charge)
+                   : 0.0;
+    }
+};
+
+/// Detection parameters.
+struct FeatureFindOptions {
+    double min_snr = 5.0;            ///< per-peak SNR gate
+    double min_intensity = 0.0;      ///< absolute height floor (counts)
+    int max_charge = 4;              ///< charge states tried for grouping
+    double mz_tolerance = 0.05;      ///< Th tolerance on isotope spacing
+    std::size_t drift_tolerance = 1; ///< drift bins members may differ by
+    std::size_t min_isotopes = 2;    ///< members needed to assign a charge
+};
+
+/// Find all 2-D peaks: cells that are local maxima over their 3x3
+/// neighbourhood (circular in drift), pass the SNR gate against their m/z
+/// channel's robust noise, and exceed the absolute floor. Sorted by
+/// descending intensity.
+std::vector<FramePeak> find_frame_peaks(const pipeline::Frame& frame,
+                                        const instrument::TofAnalyzer& tof,
+                                        const FeatureFindOptions& options = {});
+
+/// Group peaks into isotope features. Each peak joins at most one feature;
+/// grouping is greedy from the most intense peak down, trying charges
+/// max_charge..1 and extending the series upward in m/z. Ungrouped peaks
+/// become single-isotope features with charge 0.
+std::vector<Feature> group_isotopes(const std::vector<FramePeak>& peaks,
+                                    const FeatureFindOptions& options = {});
+
+/// Convenience: find_frame_peaks + group_isotopes.
+std::vector<Feature> find_features(const pipeline::Frame& frame,
+                                   const instrument::TofAnalyzer& tof,
+                                   const FeatureFindOptions& options = {});
+
+}  // namespace htims::core

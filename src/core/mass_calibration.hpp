@@ -1,0 +1,73 @@
+// mass_calibration.hpp — mass measurement and internal calibration.
+//
+// The multiplexed platform quotes low-ppm mass measurement accuracy after
+// internal calibration (#22: better than 5 ppm). This module measures the
+// centroided monoisotopic m/z of known species in a deconvolved frame,
+// fits a linear internal calibration from designated calibrant species,
+// and reports the residual ppm errors — the workflow behind experiment
+// E13 (bench_e13_mass_accuracy).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instrument/tof.hpp"
+#include "pipeline/acquisition.hpp"
+#include "pipeline/frame.hpp"
+
+namespace htims::core {
+
+/// One species' mass measurement.
+struct MassMeasurement {
+    std::string name;
+    double true_mz = 0.0;
+    double measured_mz = 0.0;
+    double intensity = 0.0;
+
+    double ppm_error() const {
+        return true_mz > 0.0 ? 1e6 * (measured_mz - true_mz) / true_mz : 0.0;
+    }
+};
+
+/// Linear m/z correction: corrected = intercept + slope * measured.
+struct MassCalibration {
+    double intercept = 0.0;
+    double slope = 1.0;
+    double apply(double measured_mz) const { return intercept + slope * measured_mz; }
+};
+
+/// Centroid the monoisotopic peak of one trace in a deconvolved frame:
+/// the m/z record is integrated over +-2 drift bins around the trace's
+/// drift position, and the centroid is taken over +-`halfwidth` m/z bins
+/// around the apex nearest the expected position. Returns nullopt when no
+/// apex rises above the local background.
+std::optional<MassMeasurement> measure_mass(const pipeline::Frame& frame,
+                                            const instrument::TofAnalyzer& tof,
+                                            const pipeline::SpeciesTrace& trace,
+                                            double true_mz,
+                                            std::size_t halfwidth = 3);
+
+/// Measure every trace (true m/z taken from the paired species list; the
+/// two spans must be index-aligned as produced by one acquisition).
+std::vector<MassMeasurement> measure_masses(
+    const pipeline::Frame& frame, const instrument::TofAnalyzer& tof,
+    const std::vector<pipeline::SpeciesTrace>& traces,
+    const std::vector<instrument::IonSpecies>& species);
+
+/// Least-squares linear calibration from calibrant measurements (needs at
+/// least two). With one calibrant, fits an offset only.
+MassCalibration fit_calibration(const std::vector<MassMeasurement>& calibrants);
+
+/// Summary of |ppm| errors over a measurement set, optionally after
+/// applying a calibration.
+struct PpmSummary {
+    double mean_abs = 0.0;
+    double max_abs = 0.0;
+    double rms = 0.0;
+    std::size_t count = 0;
+};
+PpmSummary summarize_ppm(const std::vector<MassMeasurement>& measurements,
+                         const MassCalibration* calibration = nullptr);
+
+}  // namespace htims::core

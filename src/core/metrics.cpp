@@ -1,0 +1,118 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace htims::core {
+
+double species_snr(const pipeline::Frame& deconvolved,
+                   const pipeline::SpeciesTrace& trace, double window_sigmas) {
+    const std::size_t t = deconvolved.drift_bins();
+    HTIMS_EXPECTS(trace.mz_bin < deconvolved.mz_bins());
+    AlignedVector<double> profile(t);
+    deconvolved.drift_profile(trace.mz_bin, profile);
+    const auto half = static_cast<std::size_t>(
+        std::ceil(window_sigmas * std::max(1.0, trace.drift_sigma_bins)));
+    const std::size_t lo = trace.drift_bin >= half ? trace.drift_bin - half : 0;
+    const std::size_t hi = std::min(t, trace.drift_bin + half + 1);
+    if (lo >= hi) return 0.0;
+    return region_snr(profile, lo, hi);
+}
+
+Fidelity frame_fidelity(const pipeline::Frame& deconvolved,
+                        const pipeline::Frame& truth) {
+    HTIMS_EXPECTS(deconvolved.layout() == truth.layout());
+    Fidelity f;
+    const double total_d = deconvolved.total();
+    const double total_t = truth.total();
+    if (total_d <= 0.0 || total_t <= 0.0) return f;
+
+    const auto d = deconvolved.data();
+    const auto t = truth.data();
+    const double sd = 1.0 / total_d;
+    const double st = 1.0 / total_t;
+
+    double peak_true = 0.0;
+    for (double v : t) peak_true = std::max(peak_true, v * st);
+
+    // The artifact census runs over the whole frame: a ghost peak anywhere
+    // is a demultiplexing failure. RMSE and correlation, by contrast, are
+    // computed over *active channels only* (m/z channels that carry any true
+    // signal): with thousands of empty channels the statistics would
+    // otherwise measure nothing but detector noise.
+    const std::size_t mz_bins = truth.mz_bins();
+    const std::size_t drift_bins = truth.drift_bins();
+    std::vector<std::uint8_t> active(mz_bins, 0);
+    for (std::size_t m = 0; m < mz_bins; ++m)
+        for (std::size_t dd = 0; dd < drift_bins; ++dd)
+            if (truth.at(dd, m) > 0.0) {
+                active[m] = 1;
+                break;
+            }
+
+    double worst_artifact = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const double tv = t[i] * st;
+        // "Outside true peaks": cells whose true value is below 1% of the
+        // true maximum; any signal there is a demultiplexing artifact.
+        if (tv < 0.01 * peak_true)
+            worst_artifact = std::max(worst_artifact, std::abs(d[i] * sd - tv));
+    }
+    f.artifact_level = peak_true > 0.0 ? worst_artifact / peak_true : 0.0;
+
+    AlignedVector<double> dn, tn;
+    dn.reserve(d.size());
+    tn.reserve(t.size());
+    for (std::size_t dd = 0; dd < drift_bins; ++dd)
+        for (std::size_t m = 0; m < mz_bins; ++m) {
+            if (!active[m]) continue;
+            dn.push_back(deconvolved.at(dd, m) * sd);
+            tn.push_back(truth.at(dd, m) * st);
+        }
+    if (dn.empty()) return f;
+    f.rmse = rmse(dn, tn);
+    f.correlation = correlation(dn, tn);
+    return f;
+}
+
+double measured_resolving_power(const pipeline::Frame& deconvolved,
+                                const pipeline::SpeciesTrace& trace) {
+    const std::size_t t = deconvolved.drift_bins();
+    HTIMS_EXPECTS(trace.mz_bin < deconvolved.mz_bins());
+    AlignedVector<double> profile(t);
+    deconvolved.drift_profile(trace.mz_bin, profile);
+    auto peaks = pick_peaks(profile);
+    for (const Peak& p : peaks) {
+        const auto d = p.apex_bin > trace.drift_bin ? p.apex_bin - trace.drift_bin
+                                                    : trace.drift_bin - p.apex_bin;
+        const std::size_t circ = std::min(d, t - d);
+        if (static_cast<double>(circ) <=
+            3.0 * std::max(1.0, trace.drift_sigma_bins)) {
+            return p.fwhm_bins > 0.0 ? p.centroid / p.fwhm_bins : 0.0;
+        }
+    }
+    return 0.0;
+}
+
+DetectionScore score_detections(const pipeline::Frame& deconvolved,
+                                const std::vector<pipeline::SpeciesTrace>& traces,
+                                double min_snr, double tolerance_sigmas) {
+    DetectionScore score;
+    score.total = traces.size();
+    const std::size_t t = deconvolved.drift_bins();
+    AlignedVector<double> profile(t);
+    for (const auto& trace : traces) {
+        if (trace.mz_bin >= deconvolved.mz_bins()) continue;
+        deconvolved.drift_profile(trace.mz_bin, profile);
+        const auto peaks = pick_peaks(profile, PeakPickOptions{min_snr, 2, 3});
+        const double tol = tolerance_sigmas * std::max(1.0, trace.drift_sigma_bins);
+        if (detected_near(peaks, trace.drift_bin, tol, min_snr, t)) ++score.detected;
+    }
+    return score;
+}
+
+}  // namespace htims::core

@@ -1,0 +1,52 @@
+// metrics.hpp — evaluation metrics shared by the experiment harness.
+//
+// Everything the reproduced tables/figures report is computed here so the
+// bench binaries stay thin: per-species SNR in deconvolved frames,
+// reconstruction fidelity against the acquisition ground truth, resolving
+// power, and detection scoring against the known species traces.
+#pragma once
+
+#include <vector>
+
+#include "core/peaks.hpp"
+#include "pipeline/acquisition.hpp"
+#include "pipeline/frame.hpp"
+
+namespace htims::core {
+
+/// SNR of one species in a deconvolved frame: the peak in its m/z channel's
+/// drift profile within +-`window_sigmas` of the expected drift bin, against
+/// the channel's robust noise.
+double species_snr(const pipeline::Frame& deconvolved,
+                   const pipeline::SpeciesTrace& trace, double window_sigmas = 4.0);
+
+/// Reconstruction fidelity between a deconvolved frame and the acquisition
+/// ground truth (both are compared after normalizing each to unit total,
+/// since the decoder works in detector counts and the truth in ions).
+struct Fidelity {
+    double rmse = 0.0;         ///< normalized root-mean-square error
+    double correlation = 0.0;  ///< Pearson correlation over all cells
+    double artifact_level = 0.0;  ///< largest |residual| outside true peaks,
+                                  ///< relative to the largest true peak
+};
+Fidelity frame_fidelity(const pipeline::Frame& deconvolved, const pipeline::Frame& truth);
+
+/// Measured drift resolving power of one species: fit the drift-profile peak
+/// and return t_centroid / fwhm. Returns 0 when no peak is found.
+double measured_resolving_power(const pipeline::Frame& deconvolved,
+                                const pipeline::SpeciesTrace& trace);
+
+/// Detection scoring: how many traces have a drift peak with SNR >=
+/// `min_snr` within +-`tolerance_sigmas` of the expected position.
+struct DetectionScore {
+    std::size_t detected = 0;
+    std::size_t total = 0;
+    double rate() const {
+        return total ? static_cast<double>(detected) / static_cast<double>(total) : 0.0;
+    }
+};
+DetectionScore score_detections(const pipeline::Frame& deconvolved,
+                                const std::vector<pipeline::SpeciesTrace>& traces,
+                                double min_snr = 3.0, double tolerance_sigmas = 3.0);
+
+}  // namespace htims::core

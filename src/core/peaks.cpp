@@ -1,0 +1,133 @@
+#include "core/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace htims::core {
+
+Baseline estimate_baseline(std::span<const double> spectrum) {
+    Baseline b;
+    if (spectrum.empty()) return b;
+    std::vector<double> tmp(spectrum.begin(), spectrum.end());
+    const auto mid = tmp.begin() + static_cast<std::ptrdiff_t>(tmp.size() / 2);
+    std::nth_element(tmp.begin(), mid, tmp.end());
+    b.level = *mid;
+    b.sigma = mad_sigma(spectrum);
+    // Sparse records (zero-clamped ADC baselines with mostly-zero bins)
+    // collapse the MAD to zero; fall back to the plain standard deviation so
+    // isolated dark counts do not become infinite-SNR "peaks".
+    if (b.sigma <= 0.0) b.sigma = stddev(spectrum);
+    return b;
+}
+
+namespace {
+
+/// FWHM by linear interpolation at half maximum on both flanks.
+double fwhm_at(std::span<const double> s, std::size_t apex, double baseline) {
+    const double half = baseline + 0.5 * (s[apex] - baseline);
+    // Left flank.
+    double left = static_cast<double>(apex);
+    for (std::size_t i = apex; i > 0; --i) {
+        if (s[i - 1] < half) {
+            const double denom = s[i] - s[i - 1];
+            const double frac = denom != 0.0 ? (s[i] - half) / denom : 0.0;
+            left = static_cast<double>(i) - frac;
+            break;
+        }
+        if (i == 1) left = 0.0;
+    }
+    // Right flank.
+    double right = static_cast<double>(apex);
+    for (std::size_t i = apex; i + 1 < s.size(); ++i) {
+        if (s[i + 1] < half) {
+            const double denom = s[i] - s[i + 1];
+            const double frac = denom != 0.0 ? (s[i] - half) / denom : 0.0;
+            right = static_cast<double>(i) + frac;
+            break;
+        }
+        if (i + 2 == s.size()) right = static_cast<double>(s.size() - 1);
+    }
+    return std::max(0.0, right - left);
+}
+
+}  // namespace
+
+std::vector<Peak> pick_peaks(std::span<const double> spectrum,
+                             const PeakPickOptions& options) {
+    std::vector<Peak> peaks;
+    if (spectrum.size() < 3) return peaks;
+    const Baseline base = estimate_baseline(spectrum);
+    const double noise = base.sigma > 0.0 ? base.sigma : 1e-12;
+    const double threshold = base.level + options.min_snr * noise;
+
+    for (std::size_t i = 1; i + 1 < spectrum.size(); ++i) {
+        if (spectrum[i] < threshold) continue;
+        if (spectrum[i] < spectrum[i - 1] || spectrum[i] <= spectrum[i + 1]) continue;
+        Peak p;
+        p.apex_bin = i;
+        p.height = spectrum[i] - base.level;
+        p.snr = p.height / noise;
+
+        const std::size_t lo = i >= options.centroid_halfwidth
+                                   ? i - options.centroid_halfwidth
+                                   : 0;
+        const std::size_t hi =
+            std::min(spectrum.size() - 1, i + options.centroid_halfwidth);
+        double wsum = 0.0, wx = 0.0, area = 0.0;
+        for (std::size_t b = lo; b <= hi; ++b) {
+            const double v = std::max(0.0, spectrum[b] - base.level);
+            wsum += v;
+            wx += v * static_cast<double>(b);
+            area += v;
+        }
+        p.centroid = wsum > 0.0 ? wx / wsum : static_cast<double>(i);
+        p.area = area;
+        p.fwhm_bins = fwhm_at(spectrum, i, base.level);
+        peaks.push_back(p);
+    }
+
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak& a, const Peak& b) { return a.height > b.height; });
+
+    // Enforce minimum separation, keeping the taller peak.
+    if (options.min_separation > 0) {
+        std::vector<Peak> kept;
+        for (const Peak& p : peaks) {
+            bool close = false;
+            for (const Peak& k : kept) {
+                const auto d = p.apex_bin > k.apex_bin ? p.apex_bin - k.apex_bin
+                                                       : k.apex_bin - p.apex_bin;
+                if (d < options.min_separation) {
+                    close = true;
+                    break;
+                }
+            }
+            if (!close) kept.push_back(p);
+        }
+        peaks = std::move(kept);
+    }
+    return peaks;
+}
+
+double window_snr(std::span<const double> spectrum, std::size_t lo, std::size_t hi) {
+    HTIMS_EXPECTS(lo < hi && hi <= spectrum.size());
+    return region_snr(spectrum, lo, hi);
+}
+
+bool detected_near(const std::vector<Peak>& peaks, std::size_t expected_bin,
+                   double tolerance_bins, double min_snr, std::size_t spectrum_len) {
+    HTIMS_EXPECTS(spectrum_len > 0);
+    for (const Peak& p : peaks) {
+        if (p.snr < min_snr) continue;
+        const auto d = p.apex_bin > expected_bin ? p.apex_bin - expected_bin
+                                                 : expected_bin - p.apex_bin;
+        const std::size_t circ = std::min(d, spectrum_len - d);
+        if (static_cast<double>(circ) <= tolerance_bins) return true;
+    }
+    return false;
+}
+
+}  // namespace htims::core

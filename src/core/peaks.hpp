@@ -1,0 +1,57 @@
+// peaks.hpp — peak detection and characterization on 1-D spectra.
+//
+// Used on deconvolved drift profiles and on TOF records: robust baseline
+// and noise estimation (median/MAD), local-maximum picking above an SNR
+// threshold, centroiding, FWHM estimation by linear interpolation at half
+// maximum, and peak-to-trace matching for detection scoring.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace htims::core {
+
+/// One detected peak.
+struct Peak {
+    std::size_t apex_bin = 0;   ///< index of the local maximum
+    double centroid = 0.0;      ///< intensity-weighted center (bins)
+    double height = 0.0;        ///< apex height above baseline
+    double area = 0.0;          ///< background-subtracted integral
+    double fwhm_bins = 0.0;     ///< full width at half maximum (bins)
+    double snr = 0.0;           ///< height / noise sigma
+
+    /// Resolving power at position t: t / fwhm (caller supplies units).
+    double resolving_power(double position, double bin_width) const {
+        return fwhm_bins > 0.0 ? position / (fwhm_bins * bin_width) : 0.0;
+    }
+};
+
+/// Peak-picking parameters.
+struct PeakPickOptions {
+    double min_snr = 3.0;          ///< detection threshold in noise sigmas
+    std::size_t min_separation = 2;  ///< minimum bins between apexes
+    std::size_t centroid_halfwidth = 3;  ///< bins each side used to centroid
+};
+
+/// Robust baseline (median) and noise sigma (scaled MAD) of a spectrum.
+struct Baseline {
+    double level = 0.0;
+    double sigma = 0.0;
+};
+Baseline estimate_baseline(std::span<const double> spectrum);
+
+/// Detect peaks in a spectrum. Returns peaks sorted by descending height.
+std::vector<Peak> pick_peaks(std::span<const double> spectrum,
+                             const PeakPickOptions& options = {});
+
+/// SNR of the largest peak inside [lo, hi) against the baseline estimated
+/// from the rest of the spectrum; 0 if the window holds no local maximum.
+double window_snr(std::span<const double> spectrum, std::size_t lo, std::size_t hi);
+
+/// True if a peak with at least `min_snr` lies within +-tolerance bins of
+/// `expected_bin` (circular distance, since drift records are periodic).
+bool detected_near(const std::vector<Peak>& peaks, std::size_t expected_bin,
+                   double tolerance_bins, double min_snr, std::size_t spectrum_len);
+
+}  // namespace htims::core

@@ -1,0 +1,44 @@
+#include "core/simulator.hpp"
+
+#include "common/timer.hpp"
+
+namespace htims::core {
+
+Simulator::Simulator(const SimulatorConfig& config, instrument::SampleMixture sample)
+    : config_(config),
+      engine_(config.cell, config.tof, config.detector, config.trap,
+              instrument::EsiSource(std::move(sample), config.lc_mode),
+              config.acquisition),
+      cpu_(engine_.sequence(), engine_.layout(), config.cpu_threads) {}
+
+RunResult Simulator::run(double start_time_s) {
+    RunResult result{.acquisition = engine_.acquire(start_time_s),
+                     .deconvolved = pipeline::Frame(engine_.layout()),
+                     .decode_seconds = 0.0,
+                     .fpga = std::nullopt};
+
+    if (config_.acquisition.mode == pipeline::AcquisitionMode::kSignalAveraging) {
+        // Conventional IMS: the accumulated record is the drift spectrum.
+        result.deconvolved = result.acquisition.raw;
+        return result;
+    }
+
+    WallTimer timer;
+    if (config_.backend == pipeline::BackendKind::kFpga) {
+        pipeline::FpgaPipeline fpga(engine_.sequence(), engine_.layout(), config_.fpga);
+        fpga.begin_frame();
+        // Stream the accumulated frame as one period of (wide) samples —
+        // the accumulation already happened in the acquisition model.
+        std::vector<std::uint32_t> samples =
+            pipeline::to_period_samples(result.acquisition.raw, 1);
+        fpga.push_samples(samples);
+        result.deconvolved = fpga.end_frame();
+        result.fpga = fpga.report();
+    } else {
+        result.deconvolved = cpu_.deconvolve(result.acquisition.raw);
+    }
+    result.decode_seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace htims::core

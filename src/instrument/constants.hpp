@@ -1,0 +1,27 @@
+// constants.hpp — physical constants and unit helpers for the instrument
+// models. SI units are used internally; pressures are carried in Torr and
+// temperatures in kelvin because reduced-mobility corrections are
+// conventionally written that way in the IMS literature.
+#pragma once
+
+namespace htims::instrument {
+
+inline constexpr double kBoltzmann = 1.380649e-23;        ///< J/K
+inline constexpr double kElementaryCharge = 1.602176634e-19;  ///< C
+inline constexpr double kVacuumPermittivity = 8.8541878128e-12;  ///< F/m
+inline constexpr double kStandardPressureTorr = 760.0;
+inline constexpr double kStandardTemperatureK = 273.15;
+inline constexpr double kAvogadro = 6.02214076e23;        ///< 1/mol
+inline constexpr double kProtonMassDa = 1.007276466;      ///< Da
+inline constexpr double kDaltonKg = 1.66053906660e-27;    ///< kg
+inline constexpr double kIsotopeSpacingDa = 1.0033548;    ///< Da (13C - 12C)
+
+/// Full width at half maximum of a Gaussian with unit sigma.
+inline constexpr double kFwhmPerSigma = 2.3548200450309493;
+
+inline constexpr double ms_to_s(double ms) { return ms * 1e-3; }
+inline constexpr double us_to_s(double us) { return us * 1e-6; }
+inline constexpr double s_to_ms(double s) { return s * 1e3; }
+inline constexpr double s_to_us(double s) { return s * 1e6; }
+
+}  // namespace htims::instrument

@@ -1,0 +1,113 @@
+#include "instrument/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace htims::instrument {
+
+Detector::Detector(const DetectorConfig& config) : config_(config) {
+    if (config.gain <= 0.0) throw ConfigError("detector gain must be positive");
+    if (config.gain_spread < 0.0) throw ConfigError("gain spread must be non-negative");
+    if (config.noise_sigma < 0.0) throw ConfigError("noise sigma must be non-negative");
+    if (config.dark_rate < 0.0) throw ConfigError("dark rate must be non-negative");
+    if (config.adc_bits < 1 || config.adc_bits > 24)
+        throw ConfigError("ADC bits must be in [1, 24]");
+    full_scale_ = static_cast<double>((std::uint32_t{1} << config.adc_bits) - 1);
+}
+
+double Detector::analog_sample(double expected_ions, Rng& rng) const {
+    HTIMS_EXPECTS(expected_ions >= 0.0);
+    const double lambda = expected_ions + config_.dark_rate;
+    const std::uint64_t n = rng.poisson(lambda);
+    double amplitude = 0.0;
+    if (n > 0) {
+        if (n <= 32) {
+            // Exact: sum independent single-ion pulse heights.
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const double h =
+                    config_.gain * (1.0 + config_.gain_spread * rng.gaussian());
+                amplitude += std::max(0.0, h);
+            }
+        } else {
+            // Gaussian approximation of the pulse-height sum.
+            const double mean = static_cast<double>(n) * config_.gain;
+            const double sigma = config_.gain * config_.gain_spread *
+                                 std::sqrt(static_cast<double>(n));
+            amplitude = std::max(0.0, rng.gaussian(mean, sigma));
+        }
+    }
+    return amplitude + config_.noise_sigma * rng.gaussian();
+}
+
+std::uint32_t Detector::digitize(double analog) const {
+    if (analog <= 0.0) return 0;
+    double v = std::round(analog);
+    if (config_.clip) v = std::min(v, full_scale_);
+    return static_cast<std::uint32_t>(v);
+}
+
+void Detector::acquire(std::span<const double> expected, std::span<std::uint32_t> out,
+                       Rng& rng) const {
+    HTIMS_EXPECTS(expected.size() == out.size());
+    if (config_.mode == DetectionMode::kTdc) {
+        // Discriminator: at most one registered event per bin.
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            const double lambda = expected[i] + config_.dark_rate;
+            out[i] = rng.bernoulli(1.0 - std::exp(-lambda)) ? 1u : 0u;
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        out[i] = digitize(analog_sample(expected[i], rng));
+}
+
+void Detector::acquire_accumulated(std::span<const double> expected, std::size_t periods,
+                                   std::span<double> out, Rng& rng) const {
+    HTIMS_EXPECTS(expected.size() == out.size());
+    HTIMS_EXPECTS(periods >= 1);
+    if (config_.mode == DetectionMode::kTdc) {
+        // Accumulated TDC: each period fires at most once per bin, so the
+        // count is Binomial(periods, 1 - exp(-lambda)) — the saturation law
+        // that compresses strong signals at high flux.
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            const double lambda = expected[i] + config_.dark_rate;
+            out[i] = static_cast<double>(
+                rng.binomial(periods, 1.0 - std::exp(-lambda)));
+        }
+        return;
+    }
+    const double p = static_cast<double>(periods);
+    const double noise_sigma = config_.noise_sigma * std::sqrt(p);
+    const double cap = config_.clip ? full_scale_ * p : 0.0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const double lambda = p * (expected[i] + config_.dark_rate);
+        const std::uint64_t n = rng.poisson(lambda);
+        double amplitude = 0.0;
+        if (n > 0) {
+            if (n <= 32) {
+                for (std::uint64_t k = 0; k < n; ++k)
+                    amplitude += std::max(
+                        0.0, config_.gain * (1.0 + config_.gain_spread * rng.gaussian()));
+            } else {
+                const double mean = static_cast<double>(n) * config_.gain;
+                const double sigma = config_.gain * config_.gain_spread *
+                                     std::sqrt(static_cast<double>(n));
+                amplitude = std::max(0.0, rng.gaussian(mean, sigma));
+            }
+        }
+        double v = amplitude + noise_sigma * rng.gaussian();
+        if (v < 0.0) v = 0.0;
+        if (config_.clip && v > cap) v = cap;
+        out[i] = v;
+    }
+}
+
+double Detector::expected_response(double expected_ions) const {
+    const double lambda = expected_ions + config_.dark_rate;
+    if (config_.mode == DetectionMode::kTdc) return 1.0 - std::exp(-lambda);
+    return lambda * config_.gain;
+}
+
+}  // namespace htims::instrument

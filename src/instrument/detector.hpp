@@ -1,0 +1,77 @@
+// detector.hpp — microchannel-plate detector and ADC front-end model.
+//
+// Produces what the data-capture pipeline ingests: digitized samples with
+// ion-counting (Poisson) statistics, single-ion pulse-height spread from
+// the electron multiplier, electronic noise, a chemical/dark background,
+// and an 8-bit-style ADC with clipping — the word width the FPGA capture
+// stage was built around.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace htims::instrument {
+
+/// Digitization strategy.
+enum class DetectionMode {
+    kAdc,  ///< analog-to-digital conversion: pulse heights summed per bin
+    kTdc,  ///< time-to-digital counting: a discriminator registers at most
+           ///< one event per bin per period (dead time = one bin), the
+           ///< historical mode whose saturation at high flux motivated the
+           ///< ADC-based acquisition of the multiplexed platform (#22)
+};
+
+/// Static configuration of the detection chain.
+struct DetectorConfig {
+    double gain = 1.0;             ///< mean digitized amplitude per ion (counts)
+    double gain_spread = 0.35;     ///< relative sigma of single-ion pulse height
+    double noise_sigma = 0.4;      ///< electronic noise per sample (counts, 1 sigma)
+    double dark_rate = 0.02;       ///< background ions per sample bin
+    int adc_bits = 8;              ///< ADC resolution
+    bool clip = true;              ///< saturate at full scale (false = ideal ADC)
+    DetectionMode mode = DetectionMode::kAdc;
+};
+
+/// Detector + ADC model.
+class Detector {
+public:
+    explicit Detector(const DetectorConfig& config);
+
+    const DetectorConfig& config() const { return config_; }
+    double full_scale() const { return full_scale_; }
+
+    /// Analog front-end response to an expected `expected_ions` arrival in
+    /// one sample bin: Poisson ion count, multiplier gain statistics,
+    /// electronic noise. Can be negative (noise around zero signal).
+    double analog_sample(double expected_ions, Rng& rng) const;
+
+    /// Digitize one analog value: round, clamp at zero and (optionally) at
+    /// ADC full scale.
+    std::uint32_t digitize(double analog) const;
+
+    /// Acquire a full record: for each bin of `expected` (ions per bin),
+    /// produce a digitized sample in `out`.
+    void acquire(std::span<const double> expected, std::span<std::uint32_t> out,
+                 Rng& rng) const;
+
+    /// Acquire `periods` repeats of the same expected record and return the
+    /// accumulated counts (the sum a hardware accumulator would hold).
+    /// Statistically equivalent to summing `periods` independent
+    /// acquisitions — Poisson rates and noise variances add — while costing
+    /// one pass; per-sample ADC clipping is approximated by clamping the
+    /// accumulated value at periods * full_scale.
+    void acquire_accumulated(std::span<const double> expected, std::size_t periods,
+                             std::span<double> out, Rng& rng) const;
+
+    /// Expected digitized value for a given expected ion count — the
+    /// noise-free transfer curve (used by tests and calibration).
+    double expected_response(double expected_ions) const;
+
+private:
+    DetectorConfig config_;
+    double full_scale_;
+};
+
+}  // namespace htims::instrument

@@ -1,0 +1,38 @@
+#include "instrument/esi_source.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace htims::instrument {
+
+EsiSource::EsiSource(SampleMixture mixture, bool lc_mode)
+    : mixture_(std::move(mixture)), lc_mode_(lc_mode) {
+    for (const auto& sp : mixture_.species) {
+        if (sp.intensity < 0.0) throw ConfigError("species intensity must be non-negative");
+        if (lc_mode_ && sp.lc_sigma_s < 0.0)
+            throw ConfigError("LC peak sigma must be non-negative");
+    }
+}
+
+double EsiSource::current(std::size_t species, double t_s) const {
+    HTIMS_EXPECTS(species < mixture_.species.size());
+    const auto& sp = mixture_.species[species];
+    if (!lc_mode_ || sp.lc_sigma_s <= 0.0) return sp.intensity;
+    const double d = (t_s - sp.retention_time_s) / sp.lc_sigma_s;
+    return sp.intensity * std::exp(-0.5 * d * d);
+}
+
+double EsiSource::total_current(double t_s) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < mixture_.species.size(); ++i) total += current(i, t_s);
+    return total;
+}
+
+void EsiSource::currents(double t_s, std::span<double> out) const {
+    HTIMS_EXPECTS(out.size() == mixture_.species.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = current(i, t_s);
+}
+
+}  // namespace htims::instrument

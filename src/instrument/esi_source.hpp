@@ -1,0 +1,40 @@
+// esi_source.hpp — electrospray ionization source with optional LC elution.
+//
+// Supplies per-species ion currents (ions/s) as a function of experiment
+// time. Without LC, currents are constant; with LC, each species elutes as
+// a Gaussian chromatographic peak around its retention time, which is what
+// drives the dynamically varying source function the AGC trap responds to.
+#pragma once
+
+#include <span>
+
+#include "instrument/ion.hpp"
+
+namespace htims::instrument {
+
+/// ESI source model. Thread-safe (const after construction).
+class EsiSource {
+public:
+    /// `lc_mode` true enables retention-time gating of species currents.
+    explicit EsiSource(SampleMixture mixture, bool lc_mode = false);
+
+    const SampleMixture& mixture() const { return mixture_; }
+    bool lc_mode() const { return lc_mode_; }
+    std::size_t species_count() const { return mixture_.species.size(); }
+
+    /// Instantaneous current of one species at experiment time t (ions/s).
+    double current(std::size_t species, double t_s) const;
+
+    /// Instantaneous total current at experiment time t (ions/s) — the
+    /// quantity an AGC controller measures.
+    double total_current(double t_s) const;
+
+    /// Fill `out` (size species_count()) with the per-species currents at t.
+    void currents(double t_s, std::span<double> out) const;
+
+private:
+    SampleMixture mixture_;
+    bool lc_mode_;
+};
+
+}  // namespace htims::instrument

@@ -1,0 +1,40 @@
+// ion.hpp — the analyte description shared by all instrument models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace htims::instrument {
+
+/// One ionized analyte species as it enters the mobility cell.
+struct IonSpecies {
+    std::string name;           ///< label used in reports
+    double mz = 0.0;            ///< mass-to-charge ratio, Th (Da/e)
+    int charge = 1;             ///< number of elementary charges
+    double reduced_mobility = 1.0;  ///< K0, cm^2 V^-1 s^-1 at STP
+    double intensity = 1.0;     ///< source ion current for this species, ions/s
+
+    /// Chromatographic elution (ignored unless an LC gradient is simulated).
+    double retention_time_s = 0.0;  ///< apex of the LC peak
+    double lc_sigma_s = 0.0;        ///< LC peak width (sigma); 0 = always eluting
+
+    /// Neutral (uncharged) monoisotopic mass in Da.
+    double neutral_mass() const {
+        return (mz - 1.007276466) * static_cast<double>(charge);
+    }
+};
+
+/// A named mixture of species — the "sample" loaded into the simulator.
+struct SampleMixture {
+    std::string name;
+    std::vector<IonSpecies> species;
+
+    /// Total source current summed over species (ions/s, ignoring LC).
+    double total_intensity() const {
+        double s = 0.0;
+        for (const auto& sp : species) s += sp.intensity;
+        return s;
+    }
+};
+
+}  // namespace htims::instrument

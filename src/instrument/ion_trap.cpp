@@ -1,0 +1,65 @@
+#include "instrument/ion_trap.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace htims::instrument {
+
+IonFunnelTrap::IonFunnelTrap(const IonTrapConfig& config) : config_(config) {
+    if (config.capacity_charges <= 0.0) throw ConfigError("trap capacity must be positive");
+    if (config.transmission <= 0.0 || config.transmission > 1.0)
+        throw ConfigError("trap transmission must be in (0, 1]");
+    if (config.min_fill_time_s <= 0.0 || config.max_fill_time_s < config.min_fill_time_s)
+        throw ConfigError("trap fill-time bounds invalid");
+    if (config.agc_target_fraction <= 0.0 || config.agc_target_fraction > 1.0)
+        throw ConfigError("AGC target fraction must be in (0, 1]");
+}
+
+TrapFill IonFunnelTrap::accumulate(std::span<const double> currents,
+                                   std::span<const IonSpecies> species,
+                                   double fill_time_s) const {
+    HTIMS_EXPECTS(currents.size() == species.size());
+    HTIMS_EXPECTS(fill_time_s >= 0.0);
+    TrapFill fill;
+    fill.fill_time_s = fill_time_s;
+    fill.ions.resize(species.size());
+
+    double incoming_charges = 0.0;
+    for (std::size_t i = 0; i < species.size(); ++i) {
+        fill.ions[i] = currents[i] * fill_time_s;
+        incoming_charges += fill.ions[i] * static_cast<double>(species[i].charge);
+    }
+
+    double keep = config_.transmission;
+    if (incoming_charges > config_.capacity_charges) {
+        // Space-charge spill: excess charge is ejected; modelled as a
+        // species-independent proportional loss.
+        keep *= config_.capacity_charges / incoming_charges;
+        fill.saturated = true;
+    }
+    fill.survival = keep;
+
+    fill.total_charges = 0.0;
+    for (std::size_t i = 0; i < species.size(); ++i) {
+        fill.ions[i] *= keep;
+        fill.total_charges += fill.ions[i] * static_cast<double>(species[i].charge);
+    }
+    return fill;
+}
+
+double IonFunnelTrap::agc_fill_time(double total_charge_current) const {
+    HTIMS_EXPECTS(total_charge_current >= 0.0);
+    if (total_charge_current <= 0.0) return config_.max_fill_time_s;
+    const double target = config_.agc_target_fraction * config_.capacity_charges;
+    const double t = target / total_charge_current;
+    return std::clamp(t, config_.min_fill_time_s, config_.max_fill_time_s);
+}
+
+double IonFunnelTrap::utilization(double fill_time_s, double release_period_s) const {
+    HTIMS_EXPECTS(release_period_s > 0.0);
+    const double fraction = std::min(fill_time_s, release_period_s) / release_period_s;
+    return fraction * config_.transmission;
+}
+
+}  // namespace htims::instrument

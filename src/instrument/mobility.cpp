@@ -1,0 +1,81 @@
+#include "instrument/mobility.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "instrument/constants.hpp"
+
+namespace htims::instrument {
+
+double DriftResult::resolving_power() const {
+    if (sigma_s <= 0.0) return 0.0;
+    return drift_time_s / (kFwhmPerSigma * sigma_s);
+}
+
+DriftCell::DriftCell(const DriftCellConfig& config) : config_(config) {
+    if (config.length_m <= 0.0) throw ConfigError("drift length must be positive");
+    if (config.voltage_v <= 0.0) throw ConfigError("drift voltage must be positive");
+    if (config.pressure_torr <= 0.0) throw ConfigError("pressure must be positive");
+    if (config.temperature_k <= 0.0) throw ConfigError("temperature must be positive");
+    if (config.gate_width_s < 0.0) throw ConfigError("gate width must be non-negative");
+    if (config.initial_packet_radius_m <= 0.0)
+        throw ConfigError("initial packet radius must be positive");
+}
+
+double DriftCell::mobility(double reduced_mobility) const {
+    HTIMS_EXPECTS(reduced_mobility > 0.0);
+    // K0 is quoted in cm^2/(V s) at 760 Torr / 273.15 K; convert to the cell
+    // conditions and to SI.
+    return reduced_mobility * 1e-4 * (kStandardPressureTorr / config_.pressure_torr) *
+           (config_.temperature_k / kStandardTemperatureK);
+}
+
+double DriftCell::field() const { return config_.voltage_v / config_.length_m; }
+
+double DriftCell::drift_time(double reduced_mobility) const {
+    const double k = mobility(reduced_mobility);
+    return config_.length_m * config_.length_m / (k * config_.voltage_v);
+}
+
+double DriftCell::diffusion_limited_resolving_power(int charge) const {
+    HTIMS_EXPECTS(charge >= 1);
+    const double numerator =
+        config_.voltage_v * static_cast<double>(charge) * kElementaryCharge;
+    const double denominator =
+        16.0 * kBoltzmann * config_.temperature_k * std::log(2.0);
+    return std::sqrt(numerator / denominator);
+}
+
+DriftResult DriftCell::transit(const IonSpecies& ion, double packet_charges) const {
+    HTIMS_EXPECTS(packet_charges >= 0.0);
+    DriftResult result;
+    result.drift_time_s = drift_time(ion.reduced_mobility);
+    const double v_drift = config_.length_m / result.drift_time_s;
+
+    // Gate (injection pulse) term: rectangular pulse of width w.
+    result.sigma_gate_s = config_.gate_width_s / std::sqrt(12.0);
+
+    // Diffusion term via the diffusion-limited resolving power.
+    const double r_d = diffusion_limited_resolving_power(ion.charge);
+    result.sigma_diffusion_s = result.drift_time_s / (r_d * kFwhmPerSigma);
+
+    // Coulombic expansion: r(t)^3 = r0^3 + 3 K Q e t / (4 pi eps0).
+    if (packet_charges > 0.0) {
+        const double k = mobility(ion.reduced_mobility);
+        const double r0 = config_.initial_packet_radius_m;
+        const double growth = 3.0 * k * packet_charges * kElementaryCharge *
+                              result.drift_time_s /
+                              (4.0 * 3.14159265358979323846 * kVacuumPermittivity);
+        const double r_final = std::cbrt(r0 * r0 * r0 + growth);
+        result.sigma_coulomb_s = (r_final - r0) / v_drift;
+    }
+
+    result.sigma_s = std::sqrt(result.sigma_gate_s * result.sigma_gate_s +
+                               result.sigma_diffusion_s * result.sigma_diffusion_s +
+                               result.sigma_coulomb_s * result.sigma_coulomb_s);
+    return result;
+}
+
+double DriftCell::max_drift_time(double k0_min) const { return drift_time(k0_min); }
+
+}  // namespace htims::instrument

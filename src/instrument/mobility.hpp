@@ -1,0 +1,79 @@
+// mobility.hpp — drift-cell physics: Mason–Schamp drift times, diffusion
+// broadening, and Coulombic (space-charge) packet expansion.
+//
+// The drift cell turns a reduced mobility K0 into an arrival-time
+// distribution. Three variance terms are modelled, following standard IMS
+// theory plus the space-charge analysis of Tolmachev et al. (2009):
+//
+//   sigma_total^2 = sigma_gate^2 + sigma_diffusion^2 + sigma_coulomb^2
+//
+//  * gate: a rectangular injection pulse of width w has variance w^2/12;
+//  * diffusion: the diffusion-limited resolving power is
+//        R_d = t_d / fwhm = sqrt( L E z e / (16 kB T ln 2) );
+//  * Coulomb: a packet of Q elementary charges expands under its own field.
+//    For a quasi-spherical cloud of radius r, dr/dt = K Q e / (4 pi eps0 r^2)
+//    integrates to r(t)^3 = r0^3 + 3 K Q e t / (4 pi eps0); the axial growth
+//    maps to arrival-time variance through the drift velocity. The model
+//    reproduces the experimentally observed onset of resolving-power loss
+//    above ~1e4 charges per packet.
+#pragma once
+
+#include "instrument/ion.hpp"
+
+namespace htims::instrument {
+
+/// Static configuration of the drift cell.
+struct DriftCellConfig {
+    double length_m = 0.9;          ///< drift region length
+    double voltage_v = 4000.0;      ///< total drift voltage
+    double pressure_torr = 4.0;     ///< buffer gas pressure
+    double temperature_k = 300.0;   ///< buffer gas temperature
+    double gate_width_s = 100e-6;   ///< injection pulse width (one fine bin)
+    double initial_packet_radius_m = 1.0e-3;  ///< packet radius at the gate
+};
+
+/// Arrival-time statistics for one species through the cell.
+struct DriftResult {
+    double drift_time_s = 0.0;   ///< centroid arrival time
+    double sigma_s = 0.0;        ///< total temporal standard deviation
+    double sigma_gate_s = 0.0;
+    double sigma_diffusion_s = 0.0;
+    double sigma_coulomb_s = 0.0;
+    /// Single-peak resolving power t / fwhm implied by sigma_s.
+    double resolving_power() const;
+};
+
+/// Drift-cell model. Stateless apart from its configuration; thread-safe.
+class DriftCell {
+public:
+    explicit DriftCell(const DriftCellConfig& config);
+
+    const DriftCellConfig& config() const { return config_; }
+
+    /// Mobility K (m^2 V^-1 s^-1) at cell conditions from reduced mobility
+    /// K0 (cm^2 V^-1 s^-1 at STP).
+    double mobility(double reduced_mobility) const;
+
+    /// Electric field E = V / L (V/m).
+    double field() const;
+
+    /// Centroid drift time t_d = L^2 / (K V).
+    double drift_time(double reduced_mobility) const;
+
+    /// Full arrival statistics for a species carrying `packet_charges`
+    /// elementary charges in its injected packet (drives the Coulomb term;
+    /// pass 0 to disable space charge).
+    DriftResult transit(const IonSpecies& ion, double packet_charges) const;
+
+    /// Diffusion-limited resolving power for charge state z.
+    double diffusion_limited_resolving_power(int charge) const;
+
+    /// Longest drift time among mobilities >= k0_min — used to size the
+    /// multiplexing bin grid so the slowest ion fits one sequence period.
+    double max_drift_time(double k0_min) const;
+
+private:
+    DriftCellConfig config_;
+};
+
+}  // namespace htims::instrument

@@ -1,0 +1,99 @@
+#include "instrument/peptide_library.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "instrument/constants.hpp"
+
+namespace htims::instrument {
+
+double peptide_trendline_k0(double neutral_mass_da, int charge) {
+    HTIMS_EXPECTS(neutral_mass_da > 0.0 && charge >= 1);
+    return 72.0 * static_cast<double>(charge) / std::pow(neutral_mass_da, 2.0 / 3.0);
+}
+
+SampleMixture make_calibration_mix() {
+    // Literature-plausible values for a standard ESI peptide mix; the exact
+    // digits matter less than the realistic spread of m/z, charge and K0.
+    SampleMixture mix;
+    mix.name = "9-peptide calibration standard";
+    struct Row {
+        const char* name;
+        double neutral_mass;
+        int charge;
+        double k0;
+        double intensity;
+    };
+    const Row rows[] = {
+        {"bradykinin", 1060.57, 2, 1.23, 5.0e4},
+        {"angiotensin I", 1296.69, 2, 1.12, 4.0e4},
+        {"angiotensin II", 1046.54, 2, 1.20, 6.0e4},
+        {"fibrinopeptide A", 1536.69, 2, 1.05, 3.0e4},
+        {"neurotensin", 1672.92, 3, 1.32, 3.5e4},
+        {"substance P", 1347.74, 2, 1.10, 4.5e4},
+        {"renin substrate", 1758.93, 3, 1.28, 2.5e4},
+        {"melittin", 2845.76, 4, 1.35, 2.0e4},
+        {"gramicidin S", 1141.45, 2, 1.15, 5.5e4},
+    };
+    for (const Row& r : rows) {
+        IonSpecies sp;
+        sp.name = r.name;
+        sp.charge = r.charge;
+        sp.mz = r.neutral_mass / static_cast<double>(r.charge) + kProtonMassDa;
+        sp.reduced_mobility = r.k0;
+        sp.intensity = r.intensity;
+        mix.species.push_back(sp);
+    }
+    return mix;
+}
+
+SampleMixture make_tryptic_digest(const PeptideLibraryConfig& config) {
+    if (config.count == 0) throw ConfigError("digest species count must be positive");
+    if (config.mass_min_da <= 0.0 || config.mass_max_da <= config.mass_min_da)
+        throw ConfigError("digest mass range invalid");
+    if (config.abundance_min <= 0.0 || config.abundance_max < config.abundance_min)
+        throw ConfigError("digest abundance range invalid");
+
+    Rng rng(config.seed);
+    SampleMixture mix;
+    mix.name = "synthetic tryptic digest (" + std::to_string(config.count) + " peptides)";
+    mix.species.reserve(config.count);
+    const double log_lo = std::log(config.abundance_min);
+    const double log_hi = std::log(config.abundance_max);
+    for (std::size_t i = 0; i < config.count; ++i) {
+        IonSpecies sp;
+        sp.name = "pep" + std::to_string(i);
+        // Tryptic mass distribution: skewed toward small peptides.
+        const double u = rng.uniform();
+        const double mass =
+            config.mass_min_da + (config.mass_max_da - config.mass_min_da) * u * u;
+        // Heavier peptides favour higher charge states.
+        sp.charge = (mass > 2400.0 && rng.bernoulli(0.5)) ? 3
+                    : (mass > 1400.0 && rng.bernoulli(0.35)) ? 3
+                                                             : 2;
+        sp.mz = mass / static_cast<double>(sp.charge) + kProtonMassDa;
+        const double k0 = peptide_trendline_k0(mass, sp.charge);
+        sp.reduced_mobility = k0 * (1.0 + config.k0_scatter * rng.gaussian());
+        sp.intensity = std::exp(rng.uniform(log_lo, log_hi));
+        sp.retention_time_s = rng.uniform(config.gradient_start_s, config.gradient_end_s);
+        sp.lc_sigma_s = rng.uniform(config.lc_sigma_min_s, config.lc_sigma_max_s);
+        mix.species.push_back(sp);
+    }
+    return mix;
+}
+
+IonSpecies make_spiked_peptide(const std::string& name, double mz, int charge,
+                               double intensity) {
+    HTIMS_EXPECTS(mz > 0.0 && charge >= 1 && intensity >= 0.0);
+    IonSpecies sp;
+    sp.name = name;
+    sp.mz = mz;
+    sp.charge = charge;
+    sp.reduced_mobility =
+        peptide_trendline_k0((mz - kProtonMassDa) * static_cast<double>(charge), charge);
+    sp.intensity = intensity;
+    return sp;
+}
+
+}  // namespace htims::instrument

@@ -1,0 +1,55 @@
+// peptide_library.hpp — synthetic analyte generation.
+//
+// Substitutes for the proprietary ESI samples (tryptic digests, peptide
+// standards) the instrument papers used. Two generators:
+//
+//  * make_calibration_mix(): a fixed 9-peptide standard modelled on the
+//    mixtures PNNL used for characterization (bradykinin, angiotensins,
+//    fibrinopeptide A, neurotensin, substance P, melittin, ...) with
+//    literature-plausible m/z, charge and reduced mobility;
+//  * make_tryptic_digest(): a deterministic pseudo-proteome digest with a
+//    configurable species count, masses in the tryptic range, charge states
+//    2-3, a mobility-mass correlation K0 ∝ z / M^(2/3) (the peptide
+//    trendline), log-uniform abundances across several decades, and LC
+//    retention times across a gradient. This reproduces the spectral
+//    density and dynamic-range characteristics of a real digest, which is
+//    all the data-processing chain is sensitive to.
+#pragma once
+
+#include <cstdint>
+
+#include "instrument/ion.hpp"
+
+namespace htims::instrument {
+
+/// Parameters of the synthetic digest.
+struct PeptideLibraryConfig {
+    std::size_t count = 500;
+    double mass_min_da = 600.0;
+    double mass_max_da = 3000.0;
+    double abundance_min = 1e3;   ///< ions/s, low end (log-uniform)
+    double abundance_max = 1e6;   ///< ions/s, high end
+    double gradient_start_s = 60.0;
+    double gradient_end_s = 840.0;
+    double lc_sigma_min_s = 4.0;
+    double lc_sigma_max_s = 12.0;
+    double k0_scatter = 0.05;     ///< relative sigma around the trendline
+    std::uint64_t seed = 42;
+};
+
+/// Reduced mobility from the peptide trendline K0 = 72 * z / M^(2/3)
+/// (cm^2/Vs) — calibrated so a 1500 Da 2+ peptide lands near K0 = 1.1.
+double peptide_trendline_k0(double neutral_mass_da, int charge);
+
+/// The fixed 9-peptide calibration standard.
+SampleMixture make_calibration_mix();
+
+/// Deterministic synthetic tryptic digest.
+SampleMixture make_tryptic_digest(const PeptideLibraryConfig& config);
+
+/// A single custom analyte spiked at a given molar-equivalent intensity,
+/// convenient for dynamic-range experiments.
+IonSpecies make_spiked_peptide(const std::string& name, double mz, int charge,
+                               double intensity);
+
+}  // namespace htims::instrument

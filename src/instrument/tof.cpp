@@ -1,0 +1,99 @@
+#include "instrument/tof.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "instrument/constants.hpp"
+
+namespace htims::instrument {
+
+TofAnalyzer::TofAnalyzer(const TofConfig& config) : config_(config) {
+    if (config.mz_min <= 0.0 || config.mz_max <= config.mz_min)
+        throw ConfigError("TOF m/z axis must satisfy 0 < mz_min < mz_max");
+    if (config.bins < 2) throw ConfigError("TOF record needs at least 2 bins");
+    if (config.resolving_power <= 0.0) throw ConfigError("resolving power must be positive");
+    if (config.flight_path_m <= 0.0 || config.accel_voltage_v <= 0.0)
+        throw ConfigError("flight path and acceleration voltage must be positive");
+    if (config.max_isotopes < 1) throw ConfigError("max_isotopes must be >= 1");
+    bin_width_ = (config.mz_max - config.mz_min) / static_cast<double>(config.bins);
+}
+
+double TofAnalyzer::flight_time_s(double mz) const {
+    HTIMS_EXPECTS(mz > 0.0);
+    // m/z in Th -> mass per charge in kg/C; t = d sqrt(m / (2 q U)).
+    const double mass_per_charge = mz * kDaltonKg / kElementaryCharge;
+    return config_.flight_path_m * std::sqrt(mass_per_charge / (2.0 * config_.accel_voltage_v));
+}
+
+double TofAnalyzer::bin_center(std::size_t bin) const {
+    HTIMS_EXPECTS(bin < config_.bins);
+    return config_.mz_min + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+std::size_t TofAnalyzer::bin_of(double mz) const {
+    if (mz <= config_.mz_min) return 0;
+    const auto bin = static_cast<std::size_t>((mz - config_.mz_min) / bin_width_);
+    return std::min(bin, config_.bins - 1);
+}
+
+double TofAnalyzer::peak_sigma(double mz) const {
+    // R = m / FWHM  ->  sigma = m / (R * 2.3548)
+    return mz / (config_.resolving_power * kFwhmPerSigma);
+}
+
+std::vector<IsotopePeak> TofAnalyzer::isotope_envelope(const IonSpecies& ion) const {
+    // Averagine approximation: the expected number of heavy-isotope
+    // substitutions grows linearly with mass; lambda ~= M / 1800 reproduces
+    // the usual peptide envelopes (monoisotopic dominant below ~1800 Da,
+    // A+1 overtaking above).
+    const double lambda = std::max(0.0, ion.neutral_mass()) / 1800.0;
+    std::vector<IsotopePeak> peaks;
+    peaks.reserve(static_cast<std::size_t>(config_.max_isotopes));
+    double p = std::exp(-lambda);  // Poisson pmf at k = 0
+    double total = 0.0;
+    for (int k = 0; k < config_.max_isotopes; ++k) {
+        IsotopePeak peak;
+        peak.mz = ion.mz + static_cast<double>(k) * kIsotopeSpacingDa /
+                               static_cast<double>(ion.charge);
+        peak.relative_abundance = p;
+        total += p;
+        peaks.push_back(peak);
+        p *= lambda / static_cast<double>(k + 1);
+    }
+    if (total > 0.0)
+        for (auto& peak : peaks) peak.relative_abundance /= total;
+    return peaks;
+}
+
+void TofAnalyzer::deposit(const IonSpecies& ion, double ions, double mass_offset_ppm,
+                          std::span<double> spectrum) const {
+    HTIMS_EXPECTS(spectrum.size() == config_.bins);
+    if (ions <= 0.0) return;
+    const double offset_factor = 1.0 + mass_offset_ppm * 1e-6;
+    for (const auto& peak : isotope_envelope(ion)) {
+        const double mz = peak.mz * offset_factor;
+        if (mz < config_.mz_min || mz >= config_.mz_max) continue;
+        const double sigma = peak_sigma(mz);
+        const double amplitude = ions * peak.relative_abundance;
+        // Render +-4 sigma of the Gaussian into the binned axis.
+        const std::size_t lo = bin_of(mz - 4.0 * sigma);
+        const std::size_t hi = bin_of(mz + 4.0 * sigma);
+        const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+        double weight_sum = 0.0;
+        for (std::size_t b = lo; b <= hi; ++b) {
+            const double d = bin_center(b) - mz;
+            weight_sum += std::exp(-d * d * inv_two_sigma2);
+        }
+        if (weight_sum <= 0.0) {
+            spectrum[bin_of(mz)] += amplitude;
+            continue;
+        }
+        for (std::size_t b = lo; b <= hi; ++b) {
+            const double d = bin_center(b) - mz;
+            spectrum[b] += amplitude * std::exp(-d * d * inv_two_sigma2) / weight_sum;
+        }
+    }
+}
+
+}  // namespace htims::instrument

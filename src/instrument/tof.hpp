@@ -1,0 +1,77 @@
+// tof.hpp — orthogonal time-of-flight mass analyzer model.
+//
+// The TOF stage converts each mobility-separated packet into an m/z
+// spectrum. The model covers what the data-processing chain actually sees:
+// flight-time ↔ m/z mapping, finite mass resolving power (Gaussian peak
+// shape), isotope envelopes (averagine-style Poisson approximation), a
+// binned m/z axis matching the ADC record length, and a configurable mass
+// measurement error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "instrument/ion.hpp"
+
+namespace htims::instrument {
+
+/// Static configuration of the TOF analyzer and its m/z record.
+struct TofConfig {
+    double flight_path_m = 1.2;      ///< effective flight distance
+    double accel_voltage_v = 8000.0; ///< acceleration potential
+    double mz_min = 100.0;           ///< low edge of the recorded m/z axis
+    double mz_max = 3200.0;          ///< high edge of the recorded m/z axis
+    std::size_t bins = 4096;         ///< m/z channels per TOF record
+    double resolving_power = 8000.0; ///< m / delta_m (FWHM) at mid-range
+    double mass_error_ppm = 2.0;     ///< systematic-jitter scale (1 sigma)
+    int max_isotopes = 6;            ///< isotope peaks modelled per species
+};
+
+/// One isotopic peak of a species, positioned on the m/z axis.
+struct IsotopePeak {
+    double mz = 0.0;
+    double relative_abundance = 0.0;  ///< fraction of the species intensity
+};
+
+/// TOF analyzer model. Thread-safe (const after construction).
+class TofAnalyzer {
+public:
+    explicit TofAnalyzer(const TofConfig& config);
+
+    const TofConfig& config() const { return config_; }
+    std::size_t bins() const { return config_.bins; }
+
+    /// Flight time for a given m/z: t = d * sqrt(m_kg / (2 z e U)); the
+    /// model's mapping between the ADC time base and the m/z axis.
+    double flight_time_s(double mz) const;
+
+    /// Center m/z of a record bin.
+    double bin_center(std::size_t bin) const;
+
+    /// Bin index containing an m/z value (clamped to the axis).
+    std::size_t bin_of(double mz) const;
+
+    /// Gaussian peak sigma (in m/z units) at the given m/z, from the
+    /// configured resolving power.
+    double peak_sigma(double mz) const;
+
+    /// Averagine-style isotope envelope for a species: Poisson-distributed
+    /// heavy-isotope substitutions with mean proportional to neutral mass,
+    /// peaks spaced by 1.00335/z. Abundances normalized to sum to 1.
+    std::vector<IsotopePeak> isotope_envelope(const IonSpecies& ion) const;
+
+    /// Deposit the full isotopic profile of `ion`, carrying total intensity
+    /// `ions`, into the m/z record `spectrum` (length bins()). Peaks are
+    /// rendered as Gaussians with the analyzer's resolving power; an
+    /// optional mass offset (ppm) models calibration drift.
+    void deposit(const IonSpecies& ion, double ions, double mass_offset_ppm,
+                 std::span<double> spectrum) const;
+
+private:
+    TofConfig config_;
+    double bin_width_;
+};
+
+}  // namespace htims::instrument

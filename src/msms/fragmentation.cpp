@@ -1,0 +1,118 @@
+#include "msms/fragmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "instrument/constants.hpp"
+
+namespace htims::msms {
+
+namespace {
+
+// Monoisotopic residue masses of the standard amino acids (no I/L split).
+constexpr double kResidues[] = {
+    57.02146,  71.03711,  87.03203,  97.05276,  99.06841,  101.04768,
+    103.00919, 113.08406, 114.04293, 115.02694, 128.05858, 128.09496,
+    129.04259, 131.04049, 137.05891, 147.06841, 156.10111, 163.06333,
+    186.07931,
+};
+constexpr double kWater = 18.010565;
+constexpr double kProton = instrument::kProtonMassDa;
+
+std::uint64_t name_seed(const std::string& name, std::uint64_t seed) {
+    std::uint64_t h = 1469598103934665603ULL ^ seed;
+    for (const char c : name) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::vector<double> ladder_mzs(const std::vector<double>& residues) {
+    std::vector<double> mzs;
+    if (residues.size() < 2) return mzs;
+    double prefix = 0.0;
+    double total = 0.0;
+    for (const double r : residues) total += r;
+    for (std::size_t i = 0; i + 1 < residues.size(); ++i) {
+        prefix += residues[i];
+        mzs.push_back(prefix + kProton);                    // b_{i+1}
+        mzs.push_back(total - prefix + kWater + kProton);   // y_{n-i-1}
+    }
+    return mzs;
+}
+
+std::vector<double> decoy_ladder(const std::vector<double>& ladder, double shift_da) {
+    std::vector<double> decoy(ladder);
+    for (double& mz : decoy) mz += shift_da;
+    return decoy;
+}
+
+FragmentedPrecursor fragment_peptide(const instrument::IonSpecies& precursor,
+                                     double mz_min, double mz_max,
+                                     std::uint64_t seed) {
+    HTIMS_EXPECTS(mz_max > mz_min);
+    FragmentedPrecursor result;
+    result.precursor = precursor;
+
+    const double target = precursor.neutral_mass() - kWater;
+    if (target < 2.0 * kResidues[0])
+        throw ConfigError("precursor too light to fragment: " + precursor.name);
+
+    // Draw residues until within one residue of the target, then close the
+    // chain with a synthetic residue that makes the masses exact (keeps the
+    // ladder consistent with the precursor m/z).
+    Rng rng(name_seed(precursor.name, seed));
+    double sum = 0.0;
+    while (target - sum > 200.0) {
+        const double r = kResidues[rng.below(std::size(kResidues))];
+        result.residues.push_back(r);
+        sum += r;
+    }
+    result.residues.push_back(target - sum);  // closing residue, 57..200 Da
+    if (result.residues.back() < 40.0) {
+        // Merge an implausibly light closer into its neighbour.
+        const double tail = result.residues.back();
+        result.residues.pop_back();
+        result.residues.back() += tail;
+    }
+
+    // Intensity fractions: y ions favoured over b (typical CID of tryptic
+    // 2+/3+ precursors), mid-ladder favoured over the ends.
+    const auto ladder = ladder_mzs(result.residues);
+    const std::size_t n_cuts = result.residues.size() - 1;
+    std::vector<double> raw(ladder.size(), 0.0);
+    for (std::size_t cut = 0; cut < n_cuts; ++cut) {
+        const double mid = 1.0 - std::abs(static_cast<double>(2 * cut + 1) /
+                                              static_cast<double>(2 * n_cuts) -
+                                          0.5);
+        raw[2 * cut] = 0.4 * mid * rng.uniform(0.3, 1.0);      // b
+        raw[2 * cut + 1] = 1.0 * mid * rng.uniform(0.3, 1.0);  // y
+    }
+
+    double kept = 0.0;
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        if (ladder[i] < mz_min || ladder[i] >= mz_max) continue;
+        kept += raw[i];
+    }
+    if (kept <= 0.0) return result;  // nothing in range
+
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        if (ladder[i] < mz_min || ladder[i] >= mz_max) continue;
+        FragmentIon frag;
+        frag.kind = (i % 2 == 0) ? FragmentKind::kB : FragmentKind::kY;
+        frag.index = static_cast<int>(i / 2) + 1;
+        frag.mz = ladder[i];
+        frag.fraction = raw[i] / kept;
+        result.fragments.push_back(frag);
+    }
+    std::sort(result.fragments.begin(), result.fragments.end(),
+              [](const FragmentIon& a, const FragmentIon& b) { return a.mz < b.mz; });
+    return result;
+}
+
+}  // namespace htims::msms

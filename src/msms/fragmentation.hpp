@@ -1,0 +1,56 @@
+// fragmentation.hpp — synthetic peptide fragmentation for multiplexed MS/MS.
+//
+// The IMS-multiplexed CID-TOF mode (Baker et al., companion #18) fragments
+// *all* mobility-separated precursors in an rf collision cell after the
+// drift tube; fragments inherit their precursor's drift time, and the
+// deconvolution problem becomes assigning fragment peaks back to precursors
+// by matching drift profiles. This module provides the synthetic substrate:
+// a deterministic pseudo-sequence for each precursor (drawn from residue
+// masses so that b/y fragment ladders are self-consistent with the
+// precursor mass) and CID fragment ions with realistic intensity spread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instrument/ion.hpp"
+
+namespace htims::msms {
+
+/// Fragment ion series.
+enum class FragmentKind { kB, kY };
+
+/// One CID fragment of a precursor.
+struct FragmentIon {
+    FragmentKind kind = FragmentKind::kY;
+    int index = 0;             ///< ladder position (b_i / y_i)
+    double mz = 0.0;           ///< singly protonated fragment m/z
+    double fraction = 0.0;     ///< fraction of fragmented precursor intensity
+};
+
+/// A precursor with its theoretical fragment ladder.
+struct FragmentedPrecursor {
+    instrument::IonSpecies precursor;
+    std::vector<double> residues;     ///< pseudo-sequence residue masses
+    std::vector<FragmentIon> fragments;
+};
+
+/// Build a deterministic pseudo-sequence whose residue masses sum to the
+/// precursor's neutral mass (minus water), then derive the singly charged
+/// b/y ladders with pseudo-random (seeded by the precursor name) intensity
+/// fractions summing to 1. Fragments outside [mz_min, mz_max] are dropped
+/// from the returned ladder (they would not be recorded).
+FragmentedPrecursor fragment_peptide(const instrument::IonSpecies& precursor,
+                                     double mz_min, double mz_max,
+                                     std::uint64_t seed = 0);
+
+/// Theoretical singly-charged b/y ladder masses of a residue chain (no
+/// intensities); used to build decoy ladders for FDR estimation.
+std::vector<double> ladder_mzs(const std::vector<double>& residues);
+
+/// A decoy ladder: every fragment shifted by `shift_da` — mass-incorrect by
+/// construction, used to estimate the false assignment rate.
+std::vector<double> decoy_ladder(const std::vector<double>& ladder, double shift_da);
+
+}  // namespace htims::msms

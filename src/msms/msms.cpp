@@ -1,0 +1,185 @@
+#include "msms/msms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "pipeline/cpu_backend.hpp"
+#include "transform/enhanced.hpp"
+
+namespace htims::msms {
+
+MsmsExperiment::MsmsExperiment(const core::SimulatorConfig& config,
+                               instrument::SampleMixture precursors,
+                               const MsmsConfig& msms)
+    : config_(config), msms_(msms), simulator_(config, precursors) {
+    if (msms.cid_efficiency < 0.0 || msms.cid_efficiency > 1.0)
+        throw ConfigError("CID efficiency must be in [0, 1]");
+    fragmented_.reserve(precursors.species.size());
+    for (const auto& sp : precursors.species)
+        fragmented_.push_back(
+            fragment_peptide(sp, config.tof.mz_min, config.tof.mz_max, msms.seed));
+}
+
+MsmsResult MsmsExperiment::run() {
+    // ---- MS1: ordinary multiplexed acquisition --------------------------
+    const core::RunResult ms1 = simulator_.run();
+    const auto& layout = simulator_.layout();
+    const std::size_t t = layout.drift_bins;
+    const instrument::TofAnalyzer tof(config_.tof);
+
+    MsmsResult result;
+    result.ms2_truth = pipeline::Frame(layout);
+
+    // ---- MS2 truth: fragments deposited at the precursor drift profile --
+    // Fragmentation happens after the drift tube, so each fragment inherits
+    // its precursor's arrival-time distribution exactly.
+    AlignedVector<double> record(layout.mz_bins);
+    for (std::size_t p = 0; p < fragmented_.size(); ++p) {
+        // Locate this precursor's trace (traces are only present for
+        // species that actually eluted).
+        const pipeline::SpeciesTrace* trace = nullptr;
+        for (const auto& tr : ms1.acquisition.traces)
+            if (tr.name == fragmented_[p].precursor.name) trace = &tr;
+        if (trace == nullptr || trace->expected_ions <= 0.0) continue;
+
+        // Fragment m/z record for one released packet.
+        std::fill(record.begin(), record.end(), 0.0);
+        const double fragmented_ions = trace->expected_ions * msms_.cid_efficiency;
+        for (const auto& frag : fragmented_[p].fragments) {
+            instrument::IonSpecies ion;
+            ion.name = fragmented_[p].precursor.name + "_f";
+            ion.mz = frag.mz;
+            ion.charge = 1;
+            tof.deposit(ion, fragmented_ions * frag.fraction, 0.0, record);
+        }
+        // Surviving (unfragmented) precursor.
+        tof.deposit(fragmented_[p].precursor,
+                    trace->expected_ions * (1.0 - msms_.cid_efficiency), 0.0,
+                    record);
+
+        // Gaussian drift envelope, circular.
+        const double sigma = std::max(trace->drift_sigma_bins, 1e-6);
+        const auto half = static_cast<long long>(std::ceil(4.0 * sigma));
+        double wsum = 0.0;
+        for (long long b = -half; b <= half; ++b)
+            wsum += std::exp(-0.5 * static_cast<double>(b) * static_cast<double>(b) /
+                             (sigma * sigma));
+        for (long long b = -half; b <= half; ++b) {
+            const double w = std::exp(-0.5 * static_cast<double>(b) *
+                                      static_cast<double>(b) / (sigma * sigma)) /
+                             wsum;
+            const std::size_t bin = static_cast<std::size_t>(
+                (static_cast<long long>(trace->drift_bin) + b +
+                 static_cast<long long>(t)) %
+                static_cast<long long>(t));
+            auto row = result.ms2_truth.record(bin);
+            for (std::size_t m = 0; m < record.size(); ++m)
+                if (record[m] != 0.0) row[m] += w * record[m];
+        }
+    }
+
+    // ---- Multiplex, detect, decode --------------------------------------
+    transform::EnhancedDeconvolver enc(simulator_.engine().sequence());
+    auto ws = enc.make_workspace();
+    pipeline::Frame expected(layout);
+    AlignedVector<double> profile(t), encoded(t);
+    for (std::size_t m = 0; m < layout.mz_bins; ++m) {
+        result.ms2_truth.drift_profile(m, profile);
+        bool any = false;
+        for (double v : profile) any |= (v != 0.0);
+        if (!any) continue;
+        enc.encode_fast(profile, encoded, ws);
+        expected.set_drift_profile(m, encoded);
+    }
+    pipeline::Frame ms2_raw(layout);
+    instrument::Detector detector(config_.detector);
+    Rng rng(msms_.seed ^ 0xABCDEF);
+    detector.acquire_accumulated(expected.data(), config_.acquisition.averages,
+                                 ms2_raw.data(), rng);
+    pipeline::CpuBackend cpu(simulator_.engine().sequence(), layout,
+                             config_.cpu_threads);
+    result.ms2_deconvolved = cpu.deconvolve(ms2_raw);
+
+    // ---- Assignment: correlate drift profiles ---------------------------
+    core::FeatureFindOptions peak_opts;
+    peak_opts.min_snr = msms_.min_peak_snr;
+    const auto peaks = core::find_frame_peaks(result.ms2_deconvolved, tof, peak_opts);
+
+    // MS1 reference profiles, one per precursor with a trace.
+    std::vector<int> trace_of(fragmented_.size(), -1);
+    std::vector<AlignedVector<double>> refs;
+    std::vector<std::size_t> ref_precursor;
+    for (std::size_t p = 0; p < fragmented_.size(); ++p) {
+        for (std::size_t i = 0; i < ms1.acquisition.traces.size(); ++i)
+            if (ms1.acquisition.traces[i].name == fragmented_[p].precursor.name)
+                trace_of[p] = static_cast<int>(i);
+        if (trace_of[p] < 0) continue;
+        AlignedVector<double> ref(t);
+        ms1.deconvolved.drift_profile(
+            ms1.acquisition.traces[static_cast<std::size_t>(trace_of[p])].mz_bin, ref);
+        refs.push_back(std::move(ref));
+        ref_precursor.push_back(p);
+    }
+
+    result.evidence.resize(fragmented_.size());
+    for (std::size_t p = 0; p < fragmented_.size(); ++p)
+        result.evidence[p].name = fragmented_[p].precursor.name;
+
+    // The achievable mass tolerance is bounded by the m/z bin width (the
+    // centroid of a one-bin-wide fragment peak cannot be more accurate than
+    // the grid); widen the configured tolerance accordingly.
+    const double bin_width = tof.bin_center(1) - tof.bin_center(0);
+    const double mz_tol = std::max(msms_.mz_tolerance, 1.2 * bin_width);
+
+    AlignedVector<double> frag_profile(t);
+    for (const auto& peak : peaks) {
+        FragmentAssignment assignment;
+        assignment.peak = peak;
+        result.ms2_deconvolved.drift_profile(peak.mz_bin, frag_profile);
+        double best = msms_.min_correlation;
+        for (std::size_t r = 0; r < refs.size(); ++r) {
+            const double c = correlation(frag_profile, refs[r]);
+            if (c > best) {
+                best = c;
+                assignment.precursor = static_cast<int>(ref_precursor[r]);
+                assignment.correlation = c;
+            }
+        }
+        if (assignment.precursor >= 0) {
+            const auto p = static_cast<std::size_t>(assignment.precursor);
+            auto& ev = result.evidence[p];
+            ++ev.assigned_peaks;
+            const auto ladder = ladder_mzs(fragmented_[p].residues);
+            for (const double mz : ladder)
+                if (std::abs(peak.mz - mz) <= mz_tol) {
+                    assignment.mass_matched = true;
+                    break;
+                }
+            if (assignment.mass_matched) ++ev.matched_fragments;
+            for (const double mz : decoy_ladder(ladder, msms_.decoy_shift_da))
+                if (std::abs(peak.mz - mz) <= mz_tol) {
+                    ++ev.decoy_matches;
+                    break;
+                }
+        }
+        result.assignments.push_back(assignment);
+    }
+
+    std::size_t target_total = 0, decoy_total = 0;
+    for (auto& ev : result.evidence) {
+        ev.identified = ev.matched_fragments >= msms_.min_fragments;
+        if (ev.identified) ++result.identified;
+        target_total += ev.matched_fragments;
+        decoy_total += ev.decoy_matches;
+    }
+    result.fdr_estimate =
+        target_total > 0
+            ? static_cast<double>(decoy_total) / static_cast<double>(target_total)
+            : 0.0;
+    return result;
+}
+
+}  // namespace htims::msms

@@ -1,0 +1,309 @@
+#include "pipeline/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "transform/enhanced.hpp"
+
+namespace htims::pipeline {
+
+namespace {
+
+/// Slowest (lowest-K0) species determines the drift period.
+double min_reduced_mobility(const instrument::EsiSource& source) {
+    double k0 = std::numeric_limits<double>::max();
+    for (const auto& sp : source.mixture().species)
+        k0 = std::min(k0, sp.reduced_mobility);
+    if (k0 == std::numeric_limits<double>::max())
+        throw ConfigError("acquisition requires at least one species");
+    return k0;
+}
+
+}  // namespace
+
+AcquisitionEngine::AcquisitionEngine(const instrument::DriftCellConfig& cell,
+                                     const instrument::TofConfig& tof,
+                                     const instrument::DetectorConfig& detector,
+                                     const instrument::IonTrapConfig& trap,
+                                     instrument::EsiSource source,
+                                     const AcquisitionConfig& config)
+    : cell_(cell),
+      tof_(tof),
+      detector_(detector),
+      trap_(trap),
+      source_(std::move(source)),
+      config_(config),
+      sequence_(config.sequence_order, config.oversampling, config.gate_mode),
+      rng_(config.seed) {
+    if (config.averages == 0) throw ConfigError("averages must be >= 1");
+    if (config.period_margin < 1.0) throw ConfigError("period margin must be >= 1");
+    if (config.gate_amplitude_jitter < 0.0)
+        throw ConfigError("gate amplitude jitter must be non-negative");
+
+    layout_.drift_bins = sequence_.length();
+    layout_.mz_bins = tof_.bins();
+    const double slowest = cell_.drift_time(min_reduced_mobility(source_));
+    layout_.drift_bin_width_s =
+        config.period_margin * slowest / static_cast<double>(layout_.drift_bins);
+
+    // Gate events: rising edges of the fine-grid gate waveform (multiplexed)
+    // or the single injection at bin 0 (signal averaging).
+    if (config_.mode == AcquisitionMode::kMultiplexed) {
+        const auto gate = sequence_.gate();
+        const std::size_t t = gate.size();
+        for (std::size_t i = 0; i < t; ++i)
+            if (gate[i] && !gate[(i + t - 1) % t]) pulse_bins_.push_back(i);
+    } else {
+        pulse_bins_.push_back(0);
+    }
+    HTIMS_ENSURES(!pulse_bins_.empty());
+}
+
+void AcquisitionEngine::deposit_species(const instrument::IonSpecies& ion,
+                                        double ions_per_release, double packet_charges,
+                                        Frame& truth,
+                                        std::vector<SpeciesTrace>& traces) const {
+    if (ions_per_release <= 0.0) return;
+    const auto drift = cell_.transit(ion, packet_charges);
+    const std::size_t t = layout_.drift_bins;
+    const double bin_w = layout_.drift_bin_width_s;
+    const double center_bin = drift.drift_time_s / bin_w;
+    const double sigma_bins = std::max(drift.sigma_s / bin_w, 1e-6);
+
+    // Render the m/z record of one released packet once. The analyzer's
+    // configured systematic calibration error is applied here; the mass
+    // calibration module (core/mass_calibration.hpp) removes it downstream.
+    AlignedVector<double> record(layout_.mz_bins, 0.0);
+    tof_.deposit(ion, ions_per_release, tof_.config().mass_error_ppm, record);
+
+    // Gaussian arrival-time distribution across +-4 sigma of drift bins,
+    // wrapped circularly (the multiplexed record is periodic by design).
+    const auto lo = static_cast<long long>(std::floor(center_bin - 4.0 * sigma_bins));
+    const auto hi = static_cast<long long>(std::ceil(center_bin + 4.0 * sigma_bins));
+    double weight_sum = 0.0;
+    std::vector<double> weights;
+    weights.reserve(static_cast<std::size_t>(hi - lo + 1));
+    for (long long b = lo; b <= hi; ++b) {
+        const double d = (static_cast<double>(b) - center_bin) / sigma_bins;
+        const double w = std::exp(-0.5 * d * d);
+        weights.push_back(w);
+        weight_sum += w;
+    }
+    if (weight_sum <= 0.0) return;
+    for (long long b = lo; b <= hi; ++b) {
+        const double w = weights[static_cast<std::size_t>(b - lo)] / weight_sum;
+        const std::size_t bin = static_cast<std::size_t>(((b % static_cast<long long>(t)) +
+                                                          static_cast<long long>(t)) %
+                                                         static_cast<long long>(t));
+        auto row = truth.record(bin);
+        for (std::size_t m = 0; m < record.size(); ++m)
+            if (record[m] != 0.0) row[m] += w * record[m];
+    }
+
+    SpeciesTrace trace;
+    trace.name = ion.name;
+    trace.drift_bin = static_cast<std::size_t>(std::llround(center_bin)) % t;
+    trace.drift_sigma_bins = sigma_bins;
+    trace.mz_bin = tof_.bin_of(ion.mz);
+    trace.expected_ions = ions_per_release;
+    traces.push_back(trace);
+}
+
+AcquisitionResult AcquisitionEngine::acquire(double start_time_s) {
+    const std::size_t t = layout_.drift_bins;
+    const double bin_w = layout_.drift_bin_width_s;
+    const double period = layout_.period_s();
+    const auto& species = source_.mixture().species;
+
+    AcquisitionResult result;
+    result.raw = Frame(layout_);
+    result.truth = Frame(layout_);
+    result.gate_weights.assign(t, 0.0);
+    result.duration_s = static_cast<double>(config_.averages) * period;
+
+    // Instantaneous per-species currents (assumed constant over one frame;
+    // LC peaks are much wider than a frame).
+    AlignedVector<double> currents(species.size());
+    source_.currents(start_time_s, currents);
+    double total_current = 0.0;
+    double total_charge_current = 0.0;
+    for (std::size_t i = 0; i < species.size(); ++i) {
+        total_current += currents[i];
+        total_charge_current += currents[i] * static_cast<double>(species[i].charge);
+    }
+    result.ions_available = total_current * result.duration_s;
+
+    // ---- Gate program: per-pulse accumulation times -----------------------
+    const bool stretched_continuous =
+        config_.mode == AcquisitionMode::kMultiplexed &&
+        config_.gate_mode == prs::GateMode::kStretched;
+    const bool trap_active = config_.use_trap && !stretched_continuous;
+
+    // Gap (seconds) preceding each pulse, circular.
+    std::vector<double> gaps(pulse_bins_.size());
+    if (pulse_bins_.size() == 1) {
+        gaps[0] = period;
+    } else {
+        for (std::size_t p = 0; p < pulse_bins_.size(); ++p) {
+            const std::size_t prev = p == 0 ? pulse_bins_.size() - 1 : p - 1;
+            const auto dbins = static_cast<double>(
+                (pulse_bins_[p] + t - pulse_bins_[prev]) % t);
+            gaps[p] = (dbins == 0.0 ? static_cast<double>(t) : dbins) * bin_w;
+        }
+    }
+    const double min_gap = *std::min_element(gaps.begin(), gaps.end());
+
+    std::vector<double> fill_times(pulse_bins_.size());
+    if (!trap_active) {
+        // Beam passes only while the gate is open: one fine bin per pulse
+        // (pulsed/SA) or handled per open bin (stretched, below).
+        std::fill(fill_times.begin(), fill_times.end(), bin_w);
+    } else if (config_.release_mode == TrapReleaseMode::kVariableGap) {
+        fill_times = gaps;
+    } else {
+        double fill = std::min(min_gap, trap_.config().max_fill_time_s);
+        if (config_.agc)
+            fill = std::min(fill, trap_.agc_fill_time(total_charge_current));
+        std::fill(fill_times.begin(), fill_times.end(), fill);
+    }
+
+    // Nominal (mean) release: defines the ground-truth packet and the
+    // per-pulse weights.
+    double mean_fill = 0.0;
+    for (double f : fill_times) mean_fill += f;
+    mean_fill /= static_cast<double>(fill_times.size());
+
+    instrument::TrapFill nominal;
+    if (trap_active) {
+        nominal = trap_.accumulate(currents, species, mean_fill);
+        result.trap_saturated = nominal.saturated;
+    } else {
+        nominal.ions.resize(species.size());
+        nominal.total_charges = 0.0;
+        for (std::size_t i = 0; i < species.size(); ++i) {
+            nominal.ions[i] = currents[i] * mean_fill;
+            nominal.total_charges +=
+                nominal.ions[i] * static_cast<double>(species[i].charge);
+        }
+        nominal.fill_time_s = mean_fill;
+    }
+    result.mean_packet_charges = nominal.total_charges;
+
+    // ---- Ground truth: expected drift frame of one nominal release --------
+    for (std::size_t i = 0; i < species.size(); ++i)
+        deposit_species(species[i], nominal.ions[i], nominal.total_charges,
+                        result.truth, result.traces);
+
+    // ---- Per-pulse weights (trap dynamics + gate jitter) -------------------
+    std::vector<double> pulse_weights(pulse_bins_.size(), 1.0);
+    bool uniform = true;
+    for (std::size_t p = 0; p < pulse_bins_.size(); ++p) {
+        double w = mean_fill > 0.0 ? fill_times[p] / mean_fill : 1.0;
+        if (trap_active && config_.release_mode == TrapReleaseMode::kVariableGap) {
+            // Capacity saturation applies per release.
+            const double incoming = total_charge_current * fill_times[p];
+            if (incoming > trap_.config().capacity_charges) {
+                w *= trap_.config().capacity_charges / incoming;
+                result.trap_saturated = true;
+            }
+        }
+        if (config_.gate_amplitude_jitter > 0.0)
+            w *= std::max(0.0, 1.0 + config_.gate_amplitude_jitter * rng_.gaussian());
+        pulse_weights[p] = w;
+        if (std::abs(w - 1.0) > 1e-12) uniform = false;
+    }
+
+    if (stretched_continuous) {
+        // Continuous gating: every open fine bin admits one bin-width of
+        // beam; the nominal release was computed with mean_fill == bin_w.
+        const auto gate = sequence_.gate();
+        for (std::size_t o = 0; o < t; ++o)
+            if (gate[o]) result.gate_weights[o] = 1.0;
+    } else {
+        for (std::size_t p = 0; p < pulse_bins_.size(); ++p)
+            result.gate_weights[pulse_bins_[p]] = pulse_weights[p];
+    }
+
+    // ---- Expected multiplexed record (per active m/z channel) -------------
+    Frame expected(layout_);
+    std::vector<std::uint8_t> active(layout_.mz_bins, 0);
+    {
+        AlignedVector<double> profile(t);
+        for (std::size_t m = 0; m < layout_.mz_bins; ++m) {
+            bool any = false;
+            for (std::size_t d = 0; d < t && !any; ++d)
+                any = result.truth.at(d, m) != 0.0;
+            active[m] = any ? 1 : 0;
+        }
+        if (config_.mode == AcquisitionMode::kSignalAveraging) {
+            expected = result.truth;  // single injection at bin 0
+        } else if (uniform && !stretched_continuous &&
+                   config_.gate_mode == prs::GateMode::kPulsed) {
+            // Fast path: binary pulsed gate -> Hadamard encode per channel.
+            transform::EnhancedDeconvolver enc(sequence_);
+            auto ws = enc.make_workspace();
+            AlignedVector<double> encoded(t);
+            for (std::size_t m = 0; m < layout_.mz_bins; ++m) {
+                if (!active[m]) continue;
+                result.truth.drift_profile(m, profile);
+                enc.encode_fast(profile, encoded, ws);
+                expected.set_drift_profile(m, encoded);
+            }
+        } else {
+            // General path: weighted sparse kernel.
+            AlignedVector<double> encoded(t);
+            std::vector<std::pair<std::size_t, double>> taps;
+            for (std::size_t o = 0; o < t; ++o)
+                if (result.gate_weights[o] != 0.0) taps.emplace_back(o, result.gate_weights[o]);
+            for (std::size_t m = 0; m < layout_.mz_bins; ++m) {
+                if (!active[m]) continue;
+                result.truth.drift_profile(m, profile);
+                std::fill(encoded.begin(), encoded.end(), 0.0);
+                for (const auto& [o, w] : taps) {
+                    const std::size_t split = t - o;
+                    for (std::size_t k = 0; k < split; ++k)
+                        encoded[k + o] += w * profile[k];
+                    for (std::size_t k = split; k < t; ++k)
+                        encoded[k + o - t] += w * profile[k];
+                }
+                expected.set_drift_profile(m, encoded);
+            }
+        }
+    }
+
+    // ---- Bookkeeping -------------------------------------------------------
+    double injected_per_period = 0.0;
+    for (std::size_t p = 0; p < pulse_bins_.size(); ++p) {
+        double packet = 0.0;
+        for (double ions : nominal.ions) packet += ions;
+        injected_per_period += packet * pulse_weights[p];
+    }
+    if (stretched_continuous) {
+        double packet = 0.0;
+        for (double ions : nominal.ions) packet += ions;
+        injected_per_period = packet * static_cast<double>(sequence_.gate().size()) *
+                              sequence_.open_fraction();
+    }
+    result.ions_sampled = injected_per_period * static_cast<double>(config_.averages);
+
+    if (stretched_continuous) {
+        result.duty_cycle = sequence_.open_fraction();
+    } else if (trap_active) {
+        double filled = 0.0;
+        for (std::size_t p = 0; p < fill_times.size(); ++p)
+            filled += std::min(fill_times[p], gaps[p]);
+        result.duty_cycle = filled / period;
+    } else {
+        result.duty_cycle =
+            static_cast<double>(pulse_bins_.size()) * bin_w / period;
+    }
+
+    // ---- Detection: Poisson + multiplier + noise + ADC over `averages` ----
+    detector_.acquire_accumulated(expected.data(), config_.averages,
+                                  result.raw.data(), rng_);
+    return result;
+}
+
+}  // namespace htims::pipeline

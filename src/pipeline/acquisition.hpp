@@ -1,0 +1,131 @@
+// acquisition.hpp — the data-capture simulation: instrument physics in,
+// accumulated multiplexed frames out.
+//
+// This stage plays the role of the real instrument front-end feeding the
+// hybrid pipeline. It composes the instrument models (ESI source, ion
+// funnel trap, drift cell, TOF, detector) with a gate program — either
+// conventional signal averaging (one packet per period) or a PRS-driven
+// multiplexed program — and produces:
+//   * the accumulated raw frame (detector counts, drift x m/z), and
+//   * the noise-free ground-truth drift frame (what a perfect instrument
+//     and decoder would recover), plus the effective per-bin gate weights,
+// so every downstream experiment can measure fidelity, SNR and utilization
+// against the same physical truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "instrument/detector.hpp"
+#include "instrument/esi_source.hpp"
+#include "instrument/ion_trap.hpp"
+#include "instrument/mobility.hpp"
+#include "instrument/tof.hpp"
+#include "pipeline/frame.hpp"
+#include "prs/oversampled.hpp"
+
+namespace htims::pipeline {
+
+/// Gate program family.
+enum class AcquisitionMode {
+    kSignalAveraging,  ///< one injection per drift period (conventional IMS)
+    kMultiplexed,      ///< PRS-driven injections (HT-IMS)
+};
+
+/// How the funnel trap is emptied at each gate event.
+enum class TrapReleaseMode {
+    kFixedFill,    ///< constant accumulation time per release; uniform packets
+    kVariableGap,  ///< release everything accumulated since the previous
+                   ///< pulse; maximal utilization, non-uniform packets
+};
+
+/// Parameters of one acquisition program.
+struct AcquisitionConfig {
+    AcquisitionMode mode = AcquisitionMode::kMultiplexed;
+    int sequence_order = 8;          ///< PRS order n (N = 2^n - 1 chips)
+    int oversampling = 1;            ///< fine bins per chip (modified PRS if > 1)
+    prs::GateMode gate_mode = prs::GateMode::kPulsed;
+    std::size_t averages = 1;        ///< periods accumulated into one frame
+    bool use_trap = true;            ///< accumulate in the funnel trap
+    TrapReleaseMode release_mode = TrapReleaseMode::kFixedFill;
+    bool agc = false;                ///< automated gain control of fill time
+    double gate_amplitude_jitter = 0.0;  ///< relative sigma of per-pulse amplitude
+    double period_margin = 1.15;     ///< drift period / slowest drift time
+    std::uint64_t seed = 1234;
+};
+
+/// Where one species should appear after deconvolution — used by detection
+/// scoring in the experiments.
+struct SpeciesTrace {
+    std::string name;
+    std::size_t drift_bin = 0;   ///< centroid fine drift bin
+    double drift_sigma_bins = 0.0;
+    std::size_t mz_bin = 0;      ///< monoisotopic peak m/z bin
+    double expected_ions = 0.0;  ///< ions per release packet
+};
+
+/// Output of one acquisition.
+struct AcquisitionResult {
+    Frame raw;    ///< accumulated detector counts (multiplexed domain)
+    Frame truth;  ///< expected per-release drift frame (ion units, noise-free)
+    AlignedVector<double> gate_weights;  ///< effective kernel amplitude per fine
+                                         ///< bin (1 = nominal packet); zero at
+                                         ///< closed-gate bins
+    std::vector<SpeciesTrace> traces;
+    double duration_s = 0.0;        ///< wall time consumed (averages x period)
+    double ions_sampled = 0.0;      ///< expected ions injected per frame
+    double ions_available = 0.0;    ///< beam ions emitted during duration
+    double duty_cycle = 0.0;        ///< injected-time fraction of the period
+    double mean_packet_charges = 0.0;
+    bool trap_saturated = false;
+
+    double utilization() const {
+        return ions_available > 0.0 ? ions_sampled / ions_available : 0.0;
+    }
+};
+
+/// The acquisition engine. One engine owns a fixed instrument configuration
+/// and gate program; acquire() may be called repeatedly (technical
+/// replicates advance the RNG stream; LC time is an argument).
+class AcquisitionEngine {
+public:
+    AcquisitionEngine(const instrument::DriftCellConfig& cell,
+                      const instrument::TofConfig& tof,
+                      const instrument::DetectorConfig& detector,
+                      const instrument::IonTrapConfig& trap,
+                      instrument::EsiSource source, const AcquisitionConfig& config);
+
+    const FrameLayout& layout() const { return layout_; }
+    const AcquisitionConfig& config() const { return config_; }
+    const prs::OversampledPrs& sequence() const { return sequence_; }
+    const instrument::EsiSource& source() const { return source_; }
+    const instrument::DriftCell& cell() const { return cell_; }
+    const instrument::TofAnalyzer& tof() const { return tof_; }
+
+    /// Drift period chosen to contain the slowest species (seconds).
+    double period_s() const { return layout_.period_s(); }
+
+    /// Run one accumulated acquisition starting at experiment time t.
+    AcquisitionResult acquire(double start_time_s = 0.0);
+
+private:
+    void deposit_species(const instrument::IonSpecies& ion, double ions_per_release,
+                         double packet_charges, Frame& truth,
+                         std::vector<SpeciesTrace>& traces) const;
+
+    instrument::DriftCell cell_;
+    instrument::TofAnalyzer tof_;
+    instrument::Detector detector_;
+    instrument::IonFunnelTrap trap_;
+    instrument::EsiSource source_;
+    AcquisitionConfig config_;
+    prs::OversampledPrs sequence_;
+    FrameLayout layout_;
+    std::vector<std::size_t> pulse_bins_;  ///< fine-bin indices of gate events
+    Rng rng_;
+};
+
+}  // namespace htims::pipeline

@@ -1,0 +1,40 @@
+#include "pipeline/cpu_backend.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace htims::pipeline {
+
+CpuBackend::CpuBackend(const prs::OversampledPrs& sequence, const FrameLayout& layout,
+                       std::size_t threads)
+    : decon_(sequence), layout_(layout), pool_(threads) {
+    if (layout.drift_bins != sequence.length())
+        throw ConfigError("frame drift bins must equal the sequence fine-grid length");
+}
+
+Frame CpuBackend::deconvolve(const Frame& raw) {
+    HTIMS_EXPECTS(raw.layout() == layout_);
+    Frame out(layout_);
+    WallTimer timer;
+    pool_.parallel_for(layout_.mz_bins, [&](std::size_t lo, std::size_t hi) {
+        auto ws = decon_.make_workspace();
+        AlignedVector<double> in(layout_.drift_bins);
+        AlignedVector<double> result(layout_.drift_bins);
+        for (std::size_t m = lo; m < hi; ++m) {
+            raw.drift_profile(m, in);
+            decon_.decode(in, result, ws);
+            out.set_drift_profile(m, result);
+        }
+    });
+    last_seconds_ = timer.seconds();
+    return out;
+}
+
+double CpuBackend::sustained_sample_rate(std::size_t averages) const {
+    if (last_seconds_ <= 0.0) return 0.0;
+    const double samples =
+        static_cast<double>(averages) * static_cast<double>(layout_.cells());
+    return samples / last_seconds_;
+}
+
+}  // namespace htims::pipeline

@@ -1,0 +1,48 @@
+// cpu_backend.hpp — the software deconvolution component.
+//
+// The paper's CPU side streams data and collects results, but it is also
+// the natural fallback when no FPGA is present; this backend is the
+// double-precision software deconvolver, parallelised across m/z channels
+// (channels are independent, so the decomposition is embarrassingly
+// parallel with uniform per-channel work — static chunking suffices).
+// Experiment E3 compares its sustained throughput against the FPGA model,
+// and E4 measures its strong scaling.
+#pragma once
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "pipeline/frame.hpp"
+#include "prs/oversampled.hpp"
+#include "transform/enhanced.hpp"
+
+namespace htims::pipeline {
+
+/// Multithreaded software deconvolution backend.
+class CpuBackend {
+public:
+    /// `threads` == 0 selects hardware concurrency.
+    CpuBackend(const prs::OversampledPrs& sequence, const FrameLayout& layout,
+               std::size_t threads = 0);
+
+    const FrameLayout& layout() const { return layout_; }
+    std::size_t threads() const { return pool_.size(); }
+
+    /// Deconvolve every m/z channel of `raw`; returns the drift-domain frame.
+    Frame deconvolve(const Frame& raw);
+
+    /// Wall time of the last deconvolve() call (seconds).
+    double last_seconds() const { return last_seconds_; }
+
+    /// Raw-sample throughput implied by the last call for a frame that
+    /// accumulated `averages` periods: samples processed / decode time.
+    double sustained_sample_rate(std::size_t averages) const;
+
+private:
+    transform::EnhancedDeconvolver decon_;
+    FrameLayout layout_;
+    ThreadPool pool_;
+    double last_seconds_ = 0.0;
+};
+
+}  // namespace htims::pipeline

@@ -1,0 +1,194 @@
+#include "pipeline/fpga.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "transform/fwht.hpp"
+
+namespace htims::pipeline {
+
+FpgaPipeline::FpgaPipeline(const prs::OversampledPrs& sequence, const FrameLayout& layout,
+                           const FpgaConfig& config)
+    : sequence_(sequence),
+      base_(sequence.base()),
+      layout_(layout),
+      config_(config),
+      order_(sequence.base().order()) {
+    if (layout.drift_bins != sequence.length())
+        throw ConfigError("frame drift bins must equal the sequence fine-grid length");
+    if (config.clock_hz <= 0.0) throw ConfigError("FPGA clock must be positive");
+    if (config.samples_per_cycle < 1 || config.butterflies_per_cycle < 1 ||
+        config.deconv_engines < 1)
+        throw ConfigError("FPGA parallelism parameters must be >= 1");
+    validate(config.output_format);
+
+    bins_.assign(layout.cells(), SaturatingAccumulator(config.accumulator_bits));
+    const std::size_t n = base_.length();
+    chan_.resize(n);
+    pad_.resize(n + 1);
+    w_.resize(n);
+    if (sequence_.mode() == prs::GateMode::kStretched && sequence_.factor() > 1)
+        zstack_.resize(sequence_.length());
+
+    report_.bram_bytes_used =
+        layout.cells() * static_cast<std::size_t>(config.accumulator_bits) / 8 +
+        static_cast<std::size_t>(config.deconv_engines) * (n + 1) * sizeof(std::int64_t);
+    report_.fits_bram = report_.bram_bytes_used <= config.bram_bytes;
+}
+
+void FpgaPipeline::begin_frame() {
+    for (auto& b : bins_) b.reset();
+    stream_pos_ = 0;
+    const std::size_t bram = report_.bram_bytes_used;
+    const bool fits = report_.fits_bram;
+    report_ = FpgaCycleReport{};
+    report_.bram_bytes_used = bram;
+    report_.fits_bram = fits;
+}
+
+void FpgaPipeline::push_samples(std::span<const std::uint32_t> samples) {
+    const std::size_t cells = bins_.size();
+    for (std::uint32_t s : samples) {
+        bins_[stream_pos_].add(static_cast<std::int64_t>(s));
+        if (++stream_pos_ == cells) stream_pos_ = 0;  // next period, same map
+    }
+    report_.capture_cycles += (samples.size() +
+                               static_cast<std::size_t>(config_.samples_per_cycle) - 1) /
+                              static_cast<std::size_t>(config_.samples_per_cycle);
+}
+
+void FpgaPipeline::integer_decode(const std::vector<std::int64_t>& y,
+                                  std::vector<std::int64_t>& w_out) {
+    const std::size_t n = base_.length();
+    std::fill(pad_.begin(), pad_.end(), 0LL);
+    const auto scatter = base_.scatter_index();
+    const auto gather = base_.gather_index();
+    for (std::size_t t = 0; t < n; ++t) pad_[scatter[t]] = y[t];
+    transform::fwht_i64(pad_);
+    for (std::size_t k = 0; k < n; ++k) w_out[k] = -pad_[gather[k]];
+}
+
+namespace {
+
+/// Convert w = 2^(order-1) * x (exact integer) into the output Q-format,
+/// with round-to-nearest and saturation — the output-register boundary.
+double quantize_out(std::int64_t w, int order, const QFormat& fmt) {
+    const int shift = order - 1;
+    const double value = static_cast<double>(w) / static_cast<double>(1LL << shift);
+    return Fixed(value, fmt).to_double();
+}
+
+}  // namespace
+
+void FpgaPipeline::decode_channel_pulsed(std::size_t mz, Frame& out) {
+    const std::size_t n = base_.length();
+    const auto f = static_cast<std::size_t>(sequence_.factor());
+    const std::size_t m = layout_.mz_bins;
+    for (std::size_t r = 0; r < f; ++r) {
+        for (std::size_t q = 0; q < n; ++q)
+            chan_[q] = bins_[(f * q + r) * m + mz].value();
+        integer_decode(chan_, w_);
+        for (std::size_t p = 0; p < n; ++p)
+            out.at(f * p + r, mz) = quantize_out(w_[p], order_, config_.output_format);
+    }
+}
+
+void FpgaPipeline::decode_channel_stretched(std::size_t mz, Frame& out) {
+    const std::size_t n = base_.length();
+    const auto f = static_cast<std::size_t>(sequence_.factor());
+    const std::size_t m = layout_.mz_bins;
+
+    // Z_r in w-units (exact integers).
+    for (std::size_t r = 0; r < f; ++r) {
+        for (std::size_t q = 0; q < n; ++q)
+            chan_[q] = bins_[(f * q + r) * m + mz].value();
+        integer_decode(chan_, w_);
+        std::copy(w_.begin(), w_.end(), zstack_.begin() + static_cast<std::ptrdiff_t>(r * n));
+    }
+    const std::int64_t* w_total = zstack_.data() + (f - 1) * n;  // Z_{F-1}
+
+    // Quiet-chip anchor.
+    std::size_t q0 = 0;
+    for (std::size_t q = 1; q < n; ++q)
+        if (w_total[q] < w_total[q0]) q0 = q;
+
+    // Integrate the circular difference equations per phase.
+    std::vector<std::int64_t> d(n), p_r(n);
+    std::int64_t sum_w = 0;
+    for (std::size_t q = 0; q < n; ++q) sum_w += w_total[q];
+    std::int64_t sum_p = 0;
+    for (std::size_t r = 0; r < f; ++r) {
+        const std::int64_t* zr = zstack_.data() + r * n;
+        if (r == 0) {
+            for (std::size_t q = 0; q < n; ++q) d[q] = zr[q] - w_total[(q + n - 1) % n];
+        } else {
+            const std::int64_t* zp = zstack_.data() + (r - 1) * n;
+            for (std::size_t q = 0; q < n; ++q) d[q] = zr[q] - zp[q];
+        }
+        p_r[q0] = 0;
+        for (std::size_t s = 1; s < n; ++s) {
+            const std::size_t q = (q0 + s) % n;
+            p_r[q] = p_r[(q0 + s - 1) % n] + d[q];
+        }
+        for (std::size_t p = 0; p < n; ++p) {
+            // Stash the unanchored integral; constant added after the loop.
+            out.at(f * p + r, mz) = static_cast<double>(p_r[p]);
+            sum_p += p_r[p];
+        }
+    }
+    // Distribute the constant so sum_r X_r matches W in the mean.
+    const double alpha =
+        static_cast<double>(sum_w - sum_p) / static_cast<double>(n * f);
+    for (std::size_t p = 0; p < n; ++p)
+        for (std::size_t r = 0; r < f; ++r) {
+            const double w_val = out.at(f * p + r, mz) + alpha;
+            out.at(f * p + r, mz) = quantize_out(
+                static_cast<std::int64_t>(std::llround(w_val)), order_,
+                config_.output_format);
+        }
+}
+
+Frame FpgaPipeline::end_frame() {
+    Frame out(layout_);
+    const std::size_t n = base_.length();
+    const auto f = static_cast<std::size_t>(sequence_.factor());
+    const bool stretched = sequence_.mode() == prs::GateMode::kStretched && f > 1;
+
+    for (std::size_t mz = 0; mz < layout_.mz_bins; ++mz) {
+        if (stretched)
+            decode_channel_stretched(mz, out);
+        else
+            decode_channel_pulsed(mz, out);
+    }
+
+    // Saturation census.
+    report_.accumulator_saturations = 0;
+    for (const auto& b : bins_) report_.accumulator_saturations += b.saturations();
+
+    // Cycle model: per channel, per phase: scatter N + gather N + butterflies;
+    // stretched adds ~3 F N integer adds for the phase recombination.
+    const std::uint64_t butterflies =
+        static_cast<std::uint64_t>((n + 1) / 2) * static_cast<std::uint64_t>(order_);
+    std::uint64_t per_phase = 2 * n + butterflies /
+                                          static_cast<std::uint64_t>(
+                                              config_.butterflies_per_cycle);
+    std::uint64_t per_channel = per_phase * f;
+    if (stretched) per_channel += 3 * f * n;
+    report_.deconv_cycles = per_channel * layout_.mz_bins /
+                            static_cast<std::uint64_t>(config_.deconv_engines);
+    return out;
+}
+
+double FpgaPipeline::sustained_sample_rate(std::size_t averages) const {
+    const std::uint64_t samples =
+        static_cast<std::uint64_t>(averages) * layout_.cells();
+    const std::uint64_t capture =
+        (samples + static_cast<std::uint64_t>(config_.samples_per_cycle) - 1) /
+        static_cast<std::uint64_t>(config_.samples_per_cycle);
+    const std::uint64_t total = capture + report_.deconv_cycles;
+    if (total == 0) return 0.0;
+    return static_cast<double>(samples) * config_.clock_hz / static_cast<double>(total);
+}
+
+}  // namespace htims::pipeline

@@ -1,0 +1,116 @@
+// fpga.hpp — software model of the FPGA data-capture + deconvolution stage.
+//
+// The paper implements data capture, spectrum accumulation and the enhanced
+// Hadamard deconvolution on the Cray XD1's Xilinx FPGA. This model answers
+// the same engineering questions in software, with explicit hardware
+// semantics:
+//
+//  * capture/accumulation: one ADC word per cycle streams into
+//    BRAM-modelled accumulation bins with *saturating* integer adds of a
+//    configurable word width (overflow pressure is reported, not hidden);
+//  * deconvolution: the simplex inverse runs entirely in integer/fixed
+//    point. Because N + 1 is a power of two, the 2/(N+1) normalization is
+//    an exact shift — the FWHT butterflies are adds/subtracts only, so the
+//    whole decoder maps to adder fabric with no multipliers. Results are
+//    quantized into a configurable Q-format at the output boundary;
+//  * cycle accounting: every stage charges cycles under a configurable
+//    clock and number of parallel butterfly units / deconvolution engines,
+//    yielding the sustained-throughput numbers experiment E3 compares with
+//    the instrument's raw data rate;
+//  * BRAM budget: the accumulation store and transform scratch must fit the
+//    configured on-chip memory; the report says whether they do.
+//
+// Numerical fidelity of this model against the double-precision software
+// decoder is the subject of experiment E8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "pipeline/frame.hpp"
+#include "prs/oversampled.hpp"
+#include "transform/deconvolver.hpp"
+
+namespace htims::pipeline {
+
+/// Hardware-model parameters.
+struct FpgaConfig {
+    double clock_hz = 100e6;        ///< fabric clock
+    int accumulator_bits = 32;      ///< BRAM accumulation word width
+    QFormat output_format{24, 6};   ///< fixed-point output quantization
+    std::size_t bram_bytes = 4 * 1024 * 1024;  ///< on-chip memory budget
+    int samples_per_cycle = 1;      ///< capture ingest rate
+    int butterflies_per_cycle = 2;  ///< parallel FWHT butterfly units
+    int deconv_engines = 4;         ///< parallel per-channel decode engines
+};
+
+/// Cycle/resource accounting for one processed frame.
+struct FpgaCycleReport {
+    std::uint64_t capture_cycles = 0;
+    std::uint64_t deconv_cycles = 0;
+    std::uint64_t accumulator_saturations = 0;
+    std::size_t bram_bytes_used = 0;
+    bool fits_bram = true;
+
+    std::uint64_t total_cycles() const { return capture_cycles + deconv_cycles; }
+    double seconds(double clock_hz) const {
+        return clock_hz > 0.0 ? static_cast<double>(total_cycles()) / clock_hz : 0.0;
+    }
+};
+
+/// The FPGA pipeline model: stream in ADC words, get a deconvolved frame.
+class FpgaPipeline {
+public:
+    FpgaPipeline(const prs::OversampledPrs& sequence, const FrameLayout& layout,
+                 const FpgaConfig& config);
+
+    const FpgaConfig& config() const { return config_; }
+    const FrameLayout& layout() const { return layout_; }
+
+    /// Reset accumulators and cycle counters for a new frame.
+    void begin_frame();
+
+    /// Stream a block of digitized samples in frame order (drift-major:
+    /// sample index = drift * mz_bins + mz, wrapping across periods so the
+    /// same cell accumulates over repeated periods).
+    void push_samples(std::span<const std::uint32_t> samples);
+
+    /// Finish the frame: run the fixed-point enhanced deconvolution over
+    /// every m/z channel and return the result (converted to doubles in
+    /// detector-count units).
+    Frame end_frame();
+
+    /// Accounting for the frame finished by the last end_frame().
+    const FpgaCycleReport& report() const { return report_; }
+
+    /// Samples/second the model sustains at the configured clock, for a
+    /// frame of this layout processed `averages` periods per frame.
+    double sustained_sample_rate(std::size_t averages) const;
+
+private:
+    void decode_channel_pulsed(std::size_t mz, Frame& out);
+    void decode_channel_stretched(std::size_t mz, Frame& out);
+
+    /// One integer simplex decode: input in acc units, output scaled by
+    /// 2^(order-1) (i.e. w = -(N+1)/2 * x, exact in int64).
+    void integer_decode(const std::vector<std::int64_t>& y, std::vector<std::int64_t>& w_out);
+
+    prs::OversampledPrs sequence_;
+    transform::Deconvolver base_;
+    FrameLayout layout_;
+    FpgaConfig config_;
+    int order_;
+
+    std::vector<SaturatingAccumulator> bins_;
+    std::size_t stream_pos_ = 0;
+    FpgaCycleReport report_;
+
+    // Integer scratch.
+    std::vector<std::int64_t> chan_;       // one phase, length N
+    std::vector<long long> pad_;           // FWHT buffer, length N + 1
+    std::vector<std::int64_t> w_;          // decode output, length N
+    std::vector<std::int64_t> zstack_;     // stretched mode Z_r stack, F * N
+};
+
+}  // namespace htims::pipeline

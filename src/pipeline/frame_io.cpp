@@ -1,0 +1,113 @@
+#include "pipeline/frame_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace htims::pipeline {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48544D53;  // "HTMS"
+constexpr std::uint32_t kVersion = 1;
+
+// 64-byte fixed header, all fields little-endian. Explicitly packed by
+// construction (only fixed-width members, naturally aligned).
+struct Header {
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t drift_bins;
+    std::uint64_t mz_bins;
+    double drift_bin_width_s;
+    std::uint32_t payload_crc;
+    std::uint32_t reserved0;
+    std::uint64_t reserved1[3];
+};
+static_assert(sizeof(Header) == 64, "frame header must be 64 bytes");
+
+const std::array<std::uint32_t, 256>& crc_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    const auto& table = crc_table();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < bytes; ++i)
+        crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+void write_frame(std::ostream& os, const Frame& frame) {
+    const auto payload = frame.data();
+    const std::size_t payload_bytes = payload.size() * sizeof(double);
+
+    Header header{};
+    header.magic = kMagic;
+    header.version = kVersion;
+    header.drift_bins = frame.layout().drift_bins;
+    header.mz_bins = frame.layout().mz_bins;
+    header.drift_bin_width_s = frame.layout().drift_bin_width_s;
+    header.payload_crc = crc32(payload.data(), payload_bytes);
+
+    os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload_bytes));
+    if (!os) throw Error("frame write failed");
+}
+
+Frame read_frame(std::istream& is) {
+    Header header{};
+    is.read(reinterpret_cast<char*>(&header), sizeof(header));
+    if (!is) throw Error("frame read failed: truncated header");
+    if (header.magic != kMagic) throw Error("frame read failed: bad magic");
+    if (header.version != kVersion)
+        throw Error("frame read failed: unsupported version " +
+                    std::to_string(header.version));
+    if (header.drift_bins == 0 || header.mz_bins == 0 ||
+        header.drift_bins > (1u << 24) || header.mz_bins > (1u << 24))
+        throw Error("frame read failed: implausible layout");
+
+    FrameLayout layout{.drift_bins = static_cast<std::size_t>(header.drift_bins),
+                       .mz_bins = static_cast<std::size_t>(header.mz_bins),
+                       .drift_bin_width_s = header.drift_bin_width_s};
+    Frame frame(layout);
+    const std::size_t payload_bytes = frame.data().size() * sizeof(double);
+    is.read(reinterpret_cast<char*>(frame.data().data()),
+            static_cast<std::streamsize>(payload_bytes));
+    if (!is || static_cast<std::size_t>(is.gcount()) != payload_bytes)
+        throw Error("frame read failed: truncated payload");
+    if (crc32(frame.data().data(), payload_bytes) != header.payload_crc)
+        throw Error("frame read failed: payload CRC mismatch");
+    return frame;
+}
+
+void save_frame(const std::string& path, const Frame& frame) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw Error("cannot open " + path + " for writing");
+    write_frame(os, frame);
+}
+
+Frame load_frame(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw Error("cannot open " + path + " for reading");
+    return read_frame(is);
+}
+
+}  // namespace htims::pipeline

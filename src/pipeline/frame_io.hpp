@@ -1,0 +1,35 @@
+// frame_io.hpp — binary serialization of frames.
+//
+// The platform's companion work on efficient MS data formats (Shah et al.,
+// #17) motivates a compact binary container for frames: fixed 64-byte
+// header (magic, version, layout, payload CRC32) followed by the row-major
+// float64 payload. Little-endian on-disk layout; integrity is verified on
+// read. Used by the CLI example to persist acquisitions and by replay
+// tooling to feed the pipeline from disk.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "pipeline/frame.hpp"
+
+namespace htims::pipeline {
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte buffer; the integrity check of
+/// the frame container. Exposed for tests and other containers.
+std::uint32_t crc32(const void* data, std::size_t bytes);
+
+/// Serialize a frame (header + payload) to a stream. Throws htims::Error on
+/// stream failure.
+void write_frame(std::ostream& os, const Frame& frame);
+
+/// Deserialize a frame written by write_frame. Throws htims::Error on bad
+/// magic, unsupported version, truncated payload, or CRC mismatch.
+Frame read_frame(std::istream& is);
+
+/// Convenience file wrappers.
+void save_frame(const std::string& path, const Frame& frame);
+Frame load_frame(const std::string& path);
+
+}  // namespace htims::pipeline

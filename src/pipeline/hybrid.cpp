@@ -1,0 +1,139 @@
+#include "pipeline/hybrid.hpp"
+
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace htims::pipeline {
+
+namespace {
+
+/// One streamed block: a view into the replayed period template.
+struct Block {
+    const std::uint32_t* data = nullptr;
+    std::size_t size = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> to_period_samples(const Frame& raw, std::size_t averages) {
+    HTIMS_EXPECTS(averages >= 1);
+    std::vector<std::uint32_t> samples(raw.data().size());
+    const double inv = 1.0 / static_cast<double>(averages);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double v = std::max(0.0, raw.data()[i] * inv);
+        samples[i] = static_cast<std::uint32_t>(std::llround(v));
+    }
+    return samples;
+}
+
+HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
+                               const FrameLayout& layout,
+                               std::vector<std::uint32_t> period_samples,
+                               const HybridConfig& config)
+    : sequence_(sequence),
+      layout_(layout),
+      period_samples_(std::move(period_samples)),
+      config_(config) {
+    if (period_samples_.size() != layout.cells())
+        throw ConfigError("period sample template must have layout.cells() entries");
+    if (config.frames == 0 || config.averages == 0)
+        throw ConfigError("hybrid run needs frames >= 1 and averages >= 1");
+}
+
+HybridReport HybridPipeline::run() {
+    const std::size_t record_len = layout_.mz_bins;
+    const std::size_t records_per_period = layout_.drift_bins;
+    const std::uint64_t records_total = static_cast<std::uint64_t>(config_.frames) *
+                                        config_.averages * records_per_period;
+
+    SpscRing<Block> ring(config_.ring_records);
+    HybridReport report;
+    report.last_frame = Frame(layout_);
+
+    double producer_stall = 0.0;
+    std::thread producer([&] {
+        std::uint64_t sent = 0;
+        while (sent < records_total) {
+            const std::size_t record_in_period =
+                static_cast<std::size_t>(sent % records_per_period);
+            Block block{period_samples_.data() + record_in_period * record_len,
+                        record_len};
+            if (ring.try_push(std::move(block))) {
+                ++sent;
+            } else {
+                WallTimer stall;
+                do {
+                    std::this_thread::yield();
+                } while (!ring.try_push(Block{period_samples_.data() +
+                                                  record_in_period * record_len,
+                                              record_len}));
+                producer_stall += stall.seconds();
+                ++sent;
+            }
+        }
+    });
+
+    WallTimer wall;
+    const std::uint64_t records_per_frame =
+        static_cast<std::uint64_t>(config_.averages) * records_per_period;
+
+    if (config_.backend == BackendKind::kFpga) {
+        FpgaPipeline fpga(sequence_, layout_, config_.fpga);
+        fpga.begin_frame();
+        std::uint64_t received = 0;
+        while (received < records_total) {
+            auto block = ring.try_pop();
+            if (!block) {
+                WallTimer idle;
+                while (!(block = ring.try_pop())) std::this_thread::yield();
+                report.consumer_idle_seconds += idle.seconds();
+            }
+            fpga.push_samples(std::span(block->data, block->size));
+            ++received;
+            if (received % records_per_frame == 0) {
+                report.last_frame = fpga.end_frame();
+                report.fpga = fpga.report();
+                ++report.frames;
+                if (received < records_total) fpga.begin_frame();
+            }
+        }
+    } else {
+        CpuBackend cpu(sequence_, layout_, config_.cpu_threads);
+        Frame accum(layout_);
+        std::uint64_t received = 0;
+        while (received < records_total) {
+            auto block = ring.try_pop();
+            if (!block) {
+                WallTimer idle;
+                while (!(block = ring.try_pop())) std::this_thread::yield();
+                report.consumer_idle_seconds += idle.seconds();
+            }
+            const std::size_t record_in_period =
+                static_cast<std::size_t>(received % records_per_period);
+            auto row = accum.record(record_in_period);
+            for (std::size_t i = 0; i < block->size; ++i)
+                row[i] += static_cast<double>(block->data[i]);
+            ++received;
+            if (received % records_per_frame == 0) {
+                report.last_frame = cpu.deconvolve(accum);
+                accum.fill(0.0);
+                ++report.frames;
+            }
+        }
+    }
+
+    producer.join();
+    report.wall_seconds = wall.seconds();
+    report.producer_stall_seconds = producer_stall;
+    report.samples = records_total * record_len;
+    report.sample_rate =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.samples) / report.wall_seconds
+            : 0.0;
+    return report;
+}
+
+}  // namespace htims::pipeline

@@ -1,0 +1,80 @@
+// hybrid.hpp — the hybrid CPU↔processing-element orchestrator.
+//
+// Models the paper's Cray XD1 arrangement: a software producer streams raw
+// detector records over a bounded link (the SPSC ring standing in for the
+// RapidArray interconnect) to a processing component — either the FPGA
+// model or the CPU software backend — one TOF record per block. The run
+// report captures what the paper's evaluation cares about: achieved
+// streaming throughput, producer backpressure (link/processing too slow),
+// consumer idle time (source too slow), and whether the pipeline sustains
+// the instrument's native data rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/cpu_backend.hpp"
+#include "pipeline/fpga.hpp"
+#include "pipeline/frame.hpp"
+#include "pipeline/spsc_ring.hpp"
+
+namespace htims::pipeline {
+
+/// Which processing component consumes the stream.
+enum class BackendKind { kFpga, kCpu };
+
+/// Hybrid run parameters.
+struct HybridConfig {
+    BackendKind backend = BackendKind::kFpga;
+    std::size_t frames = 8;         ///< frames to stream
+    std::size_t averages = 1;       ///< periods accumulated per frame
+    std::size_t ring_records = 256; ///< link depth, in TOF records
+    std::size_t cpu_threads = 0;    ///< CPU backend worker count (0 = auto)
+    FpgaConfig fpga{};              ///< FPGA model parameters
+};
+
+/// Outcome of a hybrid streaming run.
+struct HybridReport {
+    std::uint64_t frames = 0;
+    std::uint64_t samples = 0;
+    double wall_seconds = 0.0;
+    double producer_stall_seconds = 0.0;  ///< time blocked on a full ring
+    double consumer_idle_seconds = 0.0;   ///< time starved on an empty ring
+    double sample_rate = 0.0;             ///< achieved samples/second
+    FpgaCycleReport fpga{};               ///< last frame (FPGA backend only)
+    Frame last_frame;                     ///< last deconvolved frame
+
+    /// Ratio of achieved throughput to the instrument's native rate; >= 1
+    /// means the pipeline keeps up in real time.
+    double realtime_factor(double instrument_sample_rate) const {
+        return instrument_sample_rate > 0.0 ? sample_rate / instrument_sample_rate : 0.0;
+    }
+};
+
+/// The orchestrator. Owns both threads for the duration of run().
+class HybridPipeline {
+public:
+    /// `period_samples` is one period of digitized detector output in frame
+    /// order (drift-major), length == layout.cells(); the producer streams
+    /// it repeatedly (averages x frames times).
+    HybridPipeline(const prs::OversampledPrs& sequence, const FrameLayout& layout,
+                   std::vector<std::uint32_t> period_samples, const HybridConfig& config);
+
+    const FrameLayout& layout() const { return layout_; }
+
+    /// Execute the streaming run; blocking.
+    HybridReport run();
+
+private:
+    prs::OversampledPrs sequence_;
+    FrameLayout layout_;
+    std::vector<std::uint32_t> period_samples_;
+    HybridConfig config_;
+};
+
+/// Helper: reduce an accumulated raw frame back to one representative
+/// period of ADC words (raw / averages, rounded and clamped to the 32-bit
+/// sample domain) — the stream template the producer replays.
+std::vector<std::uint32_t> to_period_samples(const Frame& raw, std::size_t averages);
+
+}  // namespace htims::pipeline

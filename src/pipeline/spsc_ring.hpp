@@ -1,0 +1,72 @@
+// spsc_ring.hpp — bounded lock-free single-producer/single-consumer queue.
+//
+// Models the CPU→FPGA streaming link of the hybrid node (the Cray XD1's
+// RapidArray path): the software component pushes blocks of raw detector
+// samples, the processing component pops them; a full ring exerts
+// backpressure on the producer, which the hybrid orchestrator counts as
+// stall time. Classic Lamport ring with C++11 acquire/release ordering and
+// cache-line-separated indices.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+
+namespace htims::pipeline {
+
+/// Bounded SPSC queue of movable elements. Exactly one producer thread may
+/// call try_push and exactly one consumer thread may call try_pop.
+template <typename T>
+class SpscRing {
+public:
+    /// `capacity` is rounded up to a power of two (minimum 2).
+    explicit SpscRing(std::size_t capacity) {
+        std::size_t cap = 2;
+        while (cap < capacity) cap <<= 1;
+        mask_ = cap - 1;
+        slots_.resize(cap);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /// Producer side: returns false when the ring is full.
+    bool try_push(T&& value) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail > mask_) return false;
+        slots_[head & mask_] = std::move(value);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side: returns nullopt when the ring is empty.
+    std::optional<T> try_pop() {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail == head) return std::nullopt;
+        T value = std::move(slots_[tail & mask_]);
+        tail_.store(tail + 1, std::memory_order_release);
+        return value;
+    }
+
+    /// Snapshot of the current fill level (approximate under concurrency).
+    std::size_t size() const {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+    alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace htims::pipeline

@@ -1,0 +1,68 @@
+#include "prs/lfsr.hpp"
+
+#include "common/error.hpp"
+
+namespace htims::prs {
+
+namespace {
+std::uint32_t order_mask(int order) { return (order == 32) ? ~0u : ((1u << order) - 1); }
+
+std::uint32_t default_seed(std::uint32_t seed, std::uint32_t mask) {
+    const std::uint32_t s = seed == 0 ? mask : (seed & mask);
+    if (s == 0) throw ConfigError("LFSR state must be nonzero");
+    return s;
+}
+}  // namespace
+
+FibonacciLfsr::FibonacciLfsr(int order, std::uint32_t seed_state)
+    : order_(order),
+      taps_(fibonacci_tap_mask(order)),
+      mask_(order_mask(order)),
+      state_(default_seed(seed_state, mask_)) {}
+
+int FibonacciLfsr::step() {
+    const int out = static_cast<int>(state_ & 1u);
+    // Feedback = parity of the tapped state bits.
+    const std::uint32_t tapped = state_ & taps_;
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint32_t fb = static_cast<std::uint32_t>(__builtin_popcount(tapped)) & 1u;
+#else
+    std::uint32_t fb = tapped;
+    fb ^= fb >> 16;
+    fb ^= fb >> 8;
+    fb ^= fb >> 4;
+    fb ^= fb >> 2;
+    fb ^= fb >> 1;
+    fb &= 1u;
+#endif
+    state_ = (state_ >> 1) | (fb << (order_ - 1));
+    return out;
+}
+
+std::vector<std::uint8_t> FibonacciLfsr::generate(std::size_t count) {
+    std::vector<std::uint8_t> bits(count);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(step());
+    return bits;
+}
+
+GaloisLfsr::GaloisLfsr(int order, std::uint32_t seed_state)
+    : order_(order),
+      taps_(tap_mask(order)),
+      mask_(order_mask(order)),
+      state_(default_seed(seed_state, mask_)) {}
+
+int GaloisLfsr::step() {
+    const int out = static_cast<int>(state_ & 1u);
+    state_ >>= 1;
+    if (out) state_ ^= taps_;
+    state_ &= mask_;
+    return out;
+}
+
+std::vector<std::uint8_t> GaloisLfsr::generate(std::size_t count) {
+    std::vector<std::uint8_t> bits(count);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(step());
+    return bits;
+}
+
+}  // namespace htims::prs

@@ -1,0 +1,65 @@
+// lfsr.hpp — linear feedback shift registers over GF(2).
+//
+// The Fibonacci form is the reference generator for m-sequences (its state
+// sequence is what the fast simplex decoder indexes by); the Galois form is
+// provided as the hardware-shaped equivalent (single XOR per step — the form
+// an FPGA gate-control block would implement) and is verified against the
+// Fibonacci form in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prs/polynomials.hpp"
+
+namespace htims::prs {
+
+/// Fibonacci (external-XOR) LFSR. State is `order` bits; the output bit of
+/// each step is the low state bit, and the feedback bit (XOR of tap bits)
+/// shifts in at the top.
+class FibonacciLfsr {
+public:
+    /// Construct with the library's primitive polynomial for `order` and a
+    /// nonzero initial state (default all-ones).
+    explicit FibonacciLfsr(int order, std::uint32_t seed_state = 0);
+
+    int order() const { return order_; }
+    std::uint32_t state() const { return state_; }
+
+    /// Advance one step; returns the output bit (0/1).
+    int step();
+
+    /// Generate the next `count` output bits.
+    std::vector<std::uint8_t> generate(std::size_t count);
+
+private:
+    int order_;
+    std::uint32_t taps_;
+    std::uint32_t mask_;
+    std::uint32_t state_;
+};
+
+/// Galois (internal-XOR) LFSR with the same feedback polynomial. Produces a
+/// maximal-length sequence (the cyclically shifted / time-reversed image of
+/// the Fibonacci sequence), with a single XOR per step — the form a gate
+/// control block on an FPGA would implement.
+class GaloisLfsr {
+public:
+    explicit GaloisLfsr(int order, std::uint32_t seed_state = 0);
+
+    int order() const { return order_; }
+    std::uint32_t state() const { return state_; }
+
+    /// Advance one step; returns the output bit (0/1).
+    int step();
+
+    std::vector<std::uint8_t> generate(std::size_t count);
+
+private:
+    int order_;
+    std::uint32_t taps_;
+    std::uint32_t mask_;
+    std::uint32_t state_;
+};
+
+}  // namespace htims::prs

@@ -1,0 +1,55 @@
+#include "prs/oversampled.hpp"
+
+#include "common/error.hpp"
+
+namespace htims::prs {
+
+OversampledPrs::OversampledPrs(int order, int factor, GateMode mode, std::uint32_t seed_state)
+    : base_(order, seed_state), factor_(factor), mode_(mode) {
+    if (factor < 1 || factor > 64) throw ConfigError("oversampling factor must be in [1, 64]");
+    const std::size_t n = base_.length();
+    gate_.assign(n * static_cast<std::size_t>(factor), 0);
+    for (std::size_t q = 0; q < n; ++q) {
+        if (!base_.bit(q)) continue;
+        const std::size_t start = q * static_cast<std::size_t>(factor);
+        if (mode == GateMode::kPulsed) {
+            gate_[start] = 1;
+        } else {
+            for (int r = 0; r < factor; ++r) gate_[start + static_cast<std::size_t>(r)] = 1;
+        }
+    }
+    // Count rising edges over the (circular) period.
+    const std::size_t m = gate_.size();
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::uint8_t prev = gate_[(i + m - 1) % m];
+        if (gate_[i] && !prev) ++pulses_;
+    }
+}
+
+double OversampledPrs::open_fraction() const {
+    std::size_t open = 0;
+    for (auto g : gate_) open += g;
+    return static_cast<double>(open) / static_cast<double>(gate_.size());
+}
+
+double OversampledPrs::pulses_per_bin() const {
+    return static_cast<double>(pulses_) / static_cast<double>(gate_.size());
+}
+
+AlignedVector<double> OversampledPrs::encode_reference(std::span<const double> x) const {
+    HTIMS_EXPECTS(x.size() == gate_.size());
+    const std::size_t m = gate_.size();
+    AlignedVector<double> y(m, 0.0);
+    // y[t] = sum over open gate offsets o of x[(t - o) mod m]; equivalently
+    // every open bin o adds a copy of x shifted by o.
+    for (std::size_t o = 0; o < m; ++o) {
+        if (!gate_[o]) continue;
+        for (std::size_t k = 0; k < m; ++k) {
+            const std::size_t t = o + k < m ? o + k : o + k - m;
+            y[t] += x[k];
+        }
+    }
+    return y;
+}
+
+}  // namespace htims::prs

@@ -1,0 +1,71 @@
+#include "prs/polynomials.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace htims::prs {
+
+namespace {
+
+// One maximal tap set per order. Taps are polynomial exponents; the
+// corresponding feedback polynomial is x^n + sum(x^t) + 1.
+const std::array<std::vector<int>, kMaxOrder + 1> kTaps = {{
+    /* 0 */ {},
+    /* 1 */ {},
+    /* 2 */ {2, 1},
+    /* 3 */ {3, 2},
+    /* 4 */ {4, 3},
+    /* 5 */ {5, 3},
+    /* 6 */ {6, 5},
+    /* 7 */ {7, 6},
+    /* 8 */ {8, 6, 5, 4},
+    /* 9 */ {9, 5},
+    /* 10 */ {10, 7},
+    /* 11 */ {11, 9},
+    /* 12 */ {12, 11, 10, 4},
+    /* 13 */ {13, 12, 11, 8},
+    /* 14 */ {14, 13, 12, 2},
+    /* 15 */ {15, 14},
+    /* 16 */ {16, 15, 13, 4},
+    /* 17 */ {17, 14},
+    /* 18 */ {18, 11},
+    /* 19 */ {19, 18, 17, 14},
+    /* 20 */ {20, 17},
+}};
+
+void check_order(int order) {
+    if (order < kMinOrder || order > kMaxOrder)
+        throw ConfigError("LFSR order must be in [" + std::to_string(kMinOrder) + ", " +
+                          std::to_string(kMaxOrder) + "], got " + std::to_string(order));
+}
+
+}  // namespace
+
+std::span<const int> primitive_taps(int order) {
+    check_order(order);
+    return kTaps[static_cast<std::size_t>(order)];
+}
+
+std::uint32_t tap_mask(int order) {
+    check_order(order);
+    std::uint32_t mask = 0;
+    for (int t : kTaps[static_cast<std::size_t>(order)]) mask |= 1u << (t - 1);
+    return mask;
+}
+
+std::uint32_t fibonacci_tap_mask(int order) {
+    check_order(order);
+    std::uint32_t mask = 1;  // the x^0 term
+    for (int t : kTaps[static_cast<std::size_t>(order)])
+        if (t < order) mask |= 1u << t;
+    return mask;
+}
+
+std::uint64_t sequence_length(int order) {
+    check_order(order);
+    return (std::uint64_t{1} << order) - 1;
+}
+
+}  // namespace htims::prs

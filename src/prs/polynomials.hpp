@@ -1,0 +1,38 @@
+// polynomials.hpp — primitive feedback polynomials over GF(2).
+//
+// A Fibonacci LFSR with a primitive feedback polynomial of degree n cycles
+// through all 2^n - 1 nonzero states, producing a maximal-length sequence
+// (m-sequence). The taps below are the standard published maximal sets
+// (Xilinx XAPP052 family); every entry is verified to be maximal by the
+// test suite's exhaustive period check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace htims::prs {
+
+/// Smallest and largest supported LFSR order (sequence lengths 3 .. 2^20-1).
+inline constexpr int kMinOrder = 2;
+inline constexpr int kMaxOrder = 20;
+
+/// Tap positions (1-based polynomial exponents) of a primitive polynomial of
+/// the given order. The feedback bit is the XOR of the state bits at these
+/// positions. Throws ConfigError for unsupported orders.
+std::span<const int> primitive_taps(int order);
+
+/// Feedback polynomial as a bitmask: bit (t-1) set for each tap t. This is
+/// the toggle mask of the right-shift Galois-form LFSR.
+std::uint32_t tap_mask(int order);
+
+/// Feedback mask of the right-shift Fibonacci-form LFSR (output at bit 0,
+/// new bit inserted at bit order-1): with bit k of the state holding the
+/// sequence bit emitted k steps from now, the recurrence
+/// a[t+n] = a[t] ^ a[t+t1] ^ ... (polynomial x^n + x^t1 + ... + 1) means
+/// the feedback XORs bit 0 and bits t_i for every tap t_i < order.
+std::uint32_t fibonacci_tap_mask(int order);
+
+/// Sequence length for a maximal LFSR of this order: 2^order - 1.
+std::uint64_t sequence_length(int order);
+
+}  // namespace htims::prs

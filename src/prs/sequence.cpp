@@ -1,0 +1,92 @@
+#include "prs/sequence.hpp"
+
+#include "common/error.hpp"
+
+namespace htims::prs {
+
+MSequence::MSequence(int order, std::uint32_t seed_state) : order_(order) {
+    const auto n = static_cast<std::size_t>(sequence_length(order));
+    bits_.resize(n);
+    states_.resize(n);
+    FibonacciLfsr lfsr(order, seed_state);
+    for (std::size_t t = 0; t < n; ++t) {
+        states_[t] = lfsr.state();
+        bits_[t] = static_cast<std::uint8_t>(lfsr.step());
+        ones_ += bits_[t];
+    }
+    HTIMS_ENSURES(lfsr.state() == states_[0]);  // full period reached
+
+    unit_times_.assign(static_cast<std::size_t>(order), n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const std::uint32_t s = states_[t];
+        if ((s & (s - 1)) == 0) {  // power of two: a unit state
+            int k = 0;
+            while ((s >> k) != 1u) ++k;
+            unit_times_[static_cast<std::size_t>(k)] = t;
+        }
+    }
+    for (std::size_t k = 0; k < unit_times_.size(); ++k)
+        HTIMS_ENSURES(unit_times_[k] < n);
+}
+
+std::size_t MSequence::unit_state_time(int k) const {
+    HTIMS_EXPECTS(k >= 0 && k < order_);
+    return unit_times_[static_cast<std::size_t>(k)];
+}
+
+double MSequence::duty_cycle() const {
+    return static_cast<double>(ones_) / static_cast<double>(bits_.size());
+}
+
+double MSequence::autocorrelation(std::size_t lag) const {
+    const std::size_t n = bits_.size();
+    long long acc = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const int a = bits_[t] ? 1 : -1;
+        const int b = bits_[(t + lag) % n] ? 1 : -1;
+        acc += a * b;
+    }
+    return static_cast<double>(acc);
+}
+
+SimplexMatrix::SimplexMatrix(const MSequence& seq) : n_(seq.length()) {
+    matrix_.resize(n_ * n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = 0; j < n_; ++j)
+            matrix_[i * n_ + j] = static_cast<double>(seq.bit(i + n_ - j));
+}
+
+AlignedVector<double> SimplexMatrix::encode(std::span<const double> x) const {
+    HTIMS_EXPECTS(x.size() == n_);
+    AlignedVector<double> y(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        double acc = 0.0;
+        const double* row = &matrix_[i * n_];
+        for (std::size_t j = 0; j < n_; ++j) acc += row[j] * x[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+AlignedVector<double> SimplexMatrix::decode(std::span<const double> y) const {
+    HTIMS_EXPECTS(y.size() == n_);
+    // S^{-1} = 2/(N+1) (2 S^T - J): x[j] = 2/(N+1) (2 sum_i S[i][j] y[i] - sum_i y[i])
+    double total = 0.0;
+    for (double v : y) total += v;
+    AlignedVector<double> x(n_, 0.0);
+    const double scale = 2.0 / static_cast<double>(n_ + 1);
+    for (std::size_t j = 0; j < n_; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n_; ++i) acc += matrix_[i * n_ + j] * y[i];
+        x[j] = scale * (2.0 * acc - total);
+    }
+    return x;
+}
+
+double SimplexMatrix::inverse_at(std::size_t i, std::size_t j) const {
+    HTIMS_EXPECTS(i < n_ && j < n_);
+    const double scale = 2.0 / static_cast<double>(n_ + 1);
+    return scale * (2.0 * at(j, i) - 1.0);
+}
+
+}  // namespace htims::prs

@@ -1,0 +1,91 @@
+// sequence.hpp — maximal-length sequences and the simplex (S) matrix.
+//
+// In Hadamard-transform IMS the ion gate is driven by a pseudo-random binary
+// sequence a[0..N-1] (an m-sequence, N = 2^n - 1). An ion packet injected at
+// gate-open time i-j with drift time j arrives at the detector at time i, so
+// the detector observes the circular convolution y = S x of the drift
+// profile with the gate sequence, where S[i][j] = a[(i - j) mod N] (the
+// physically causal convolution convention, used consistently throughout
+// the library). This module provides the sequence, its state
+// trajectory (needed by the O(N log N) decoder), and a dense S-matrix with
+// exact O(N^2) encode/decode used as the verification reference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "prs/lfsr.hpp"
+
+namespace htims::prs {
+
+/// One period of an m-sequence plus the LFSR state trajectory that generated
+/// it. The state trajectory visits every nonzero n-bit value exactly once;
+/// `unit_state_time(k)` gives the step index at which the state equals
+/// 1 << k — the anchor the fast Walsh–Hadamard decoder uses to map shift
+/// indices to linear functionals.
+class MSequence {
+public:
+    /// Generate one full period for the given order with the library's
+    /// primitive polynomial. `seed_state` selects the cyclic phase.
+    explicit MSequence(int order, std::uint32_t seed_state = 0);
+
+    int order() const { return order_; }
+    /// Period N = 2^order - 1.
+    std::size_t length() const { return bits_.size(); }
+
+    /// The binary sequence a[t], one period.
+    std::span<const std::uint8_t> bits() const { return bits_; }
+    std::uint8_t bit(std::size_t t) const { return bits_[t % bits_.size()]; }
+
+    /// LFSR state before emitting bit t; all values nonzero and distinct.
+    std::span<const std::uint32_t> states() const { return states_; }
+
+    /// Step index t at which states()[t] == (1u << k), k in [0, order).
+    std::size_t unit_state_time(int k) const;
+
+    /// Number of ones in one period (= 2^(order-1) for an m-sequence).
+    std::size_t ones() const { return ones_; }
+
+    /// Duty cycle of the gate waveform: ones / N (≈ 0.5).
+    double duty_cycle() const;
+
+    /// Periodic autocorrelation at lag k of the ±1-mapped sequence; the
+    /// m-sequence signature is N at lag 0 and -1 elsewhere.
+    double autocorrelation(std::size_t lag) const;
+
+private:
+    int order_;
+    std::vector<std::uint8_t> bits_;
+    std::vector<std::uint32_t> states_;
+    std::vector<std::size_t> unit_times_;
+    std::size_t ones_ = 0;
+};
+
+/// Dense circulant simplex matrix S[i][j] = a[(i+j) mod N] with exact
+/// reference encode/decode. Quadratic in N — intended for verification and
+/// for the small orders used in unit tests; production decoding goes through
+/// transform::Deconvolver.
+class SimplexMatrix {
+public:
+    explicit SimplexMatrix(const MSequence& seq);
+
+    std::size_t size() const { return n_; }
+    double at(std::size_t i, std::size_t j) const { return matrix_[i * n_ + j]; }
+
+    /// y = S x (circular superposition of shifted profiles).
+    AlignedVector<double> encode(std::span<const double> x) const;
+
+    /// x = S^{-1} y with the closed-form inverse S^{-1} = 2/(N+1) (2 S^T - J).
+    AlignedVector<double> decode(std::span<const double> y) const;
+
+    /// Explicit inverse matrix entry (for property tests).
+    double inverse_at(std::size_t i, std::size_t j) const;
+
+private:
+    std::size_t n_;
+    AlignedVector<double> matrix_;
+};
+
+}  // namespace htims::prs

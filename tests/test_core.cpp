@@ -1,0 +1,214 @@
+// Tests for src/core: peak picking, metrics, the Simulator facade, and the
+// experiment scaffolding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/peaks.hpp"
+#include "core/simulator.hpp"
+#include "instrument/peptide_library.hpp"
+
+namespace htims::core {
+namespace {
+
+std::vector<double> noisy_spectrum_with_peak(std::size_t n, std::size_t center,
+                                             double height, double sigma_bins,
+                                             double noise, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> s(n);
+    for (auto& v : s) v = rng.gaussian(0.0, noise);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = (static_cast<double>(i) - static_cast<double>(center)) / sigma_bins;
+        s[i] += height * std::exp(-0.5 * d * d);
+    }
+    return s;
+}
+
+// -------------------------------------------------------------- Peaks ----
+
+TEST(Peaks, FindsSinglePeak) {
+    const auto s = noisy_spectrum_with_peak(512, 200, 50.0, 3.0, 1.0, 1);
+    const auto peaks = pick_peaks(s);
+    ASSERT_FALSE(peaks.empty());
+    EXPECT_NEAR(static_cast<double>(peaks[0].apex_bin), 200.0, 2.0);
+    EXPECT_NEAR(peaks[0].centroid, 200.0, 1.0);
+    EXPECT_GT(peaks[0].snr, 20.0);
+}
+
+TEST(Peaks, FwhmMatchesGaussianWidth) {
+    const auto s = noisy_spectrum_with_peak(512, 250, 100.0, 4.0, 0.01, 2);
+    const auto peaks = pick_peaks(s);
+    ASSERT_FALSE(peaks.empty());
+    // Gaussian FWHM = 2.3548 sigma.
+    EXPECT_NEAR(peaks[0].fwhm_bins, 2.3548 * 4.0, 0.8);
+}
+
+TEST(Peaks, NoFalsePositivesOnPureNoise) {
+    Rng rng(3);
+    std::vector<double> s(2048);
+    for (auto& v : s) v = rng.gaussian(0.0, 1.0);
+    PeakPickOptions opts;
+    opts.min_snr = 6.0;  // 6 sigma on 2048 samples: expect none
+    EXPECT_TRUE(pick_peaks(s, opts).empty());
+}
+
+TEST(Peaks, SortsByHeightAndSeparates) {
+    auto s = noisy_spectrum_with_peak(512, 100, 30.0, 2.0, 0.5, 4);
+    const auto s2 = noisy_spectrum_with_peak(512, 300, 80.0, 2.0, 0.0, 5);
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] += s2[i];
+    const auto peaks = pick_peaks(s);
+    ASSERT_GE(peaks.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(peaks[0].apex_bin), 300.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(peaks[1].apex_bin), 100.0, 2.0);
+}
+
+TEST(Peaks, BaselineOffsetHandled) {
+    auto s = noisy_spectrum_with_peak(512, 256, 40.0, 3.0, 1.0, 6);
+    for (auto& v : s) v += 100.0;  // constant baseline
+    const auto peaks = pick_peaks(s);
+    ASSERT_FALSE(peaks.empty());
+    EXPECT_NEAR(peaks[0].height, 40.0, 8.0);
+}
+
+TEST(Peaks, DetectedNearUsesCircularDistance) {
+    std::vector<Peak> peaks(1);
+    peaks[0].apex_bin = 2;
+    peaks[0].snr = 10.0;
+    EXPECT_TRUE(detected_near(peaks, 98, 5.0, 3.0, 100));  // wraps: distance 4
+    EXPECT_FALSE(detected_near(peaks, 50, 5.0, 3.0, 100));
+    EXPECT_FALSE(detected_near(peaks, 98, 5.0, 20.0, 100));  // SNR gate
+}
+
+TEST(Peaks, EmptySpectrumYieldsNothing) {
+    std::vector<double> s;
+    EXPECT_TRUE(pick_peaks(s).empty());
+}
+
+// ------------------------------------------------------------ Metrics ----
+
+TEST(Metrics, FidelityPerfectMatch) {
+    pipeline::FrameLayout layout{.drift_bins = 32, .mz_bins = 8,
+                                 .drift_bin_width_s = 1e-4};
+    pipeline::Frame a(layout);
+    a.at(5, 2) = 10.0;
+    a.at(20, 6) = 4.0;
+    const auto f = frame_fidelity(a, a);
+    EXPECT_NEAR(f.rmse, 0.0, 1e-12);
+    EXPECT_NEAR(f.correlation, 1.0, 1e-12);
+    EXPECT_NEAR(f.artifact_level, 0.0, 1e-12);
+}
+
+TEST(Metrics, FidelityDetectsArtifacts) {
+    pipeline::FrameLayout layout{.drift_bins = 32, .mz_bins = 8,
+                                 .drift_bin_width_s = 1e-4};
+    pipeline::Frame truth(layout), decoded(layout);
+    truth.at(5, 2) = 10.0;
+    decoded.at(5, 2) = 10.0;
+    decoded.at(25, 2) = 2.0;  // ghost peak
+    const auto f = frame_fidelity(decoded, truth);
+    EXPECT_GT(f.artifact_level, 0.05);
+    EXPECT_LT(f.correlation, 1.0);
+}
+
+TEST(Metrics, ScaleInvariance) {
+    pipeline::FrameLayout layout{.drift_bins = 16, .mz_bins = 4,
+                                 .drift_bin_width_s = 1e-4};
+    pipeline::Frame truth(layout), decoded(layout);
+    truth.at(3, 1) = 5.0;
+    decoded.at(3, 1) = 500.0;  // decoder works in different units
+    const auto f = frame_fidelity(decoded, truth);
+    EXPECT_NEAR(f.rmse, 0.0, 1e-12);
+    EXPECT_NEAR(f.correlation, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------- Simulator ----
+
+TEST(Simulator, EndToEndMultiplexedDetectsCalibrationMix) {
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 512;
+    cfg.acquisition.averages = 8;
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    const auto result = sim.run();
+    const auto score = result.score(3.0);
+    EXPECT_EQ(score.total, 9u);
+    EXPECT_GE(score.detected, 8u);
+    EXPECT_GT(mean_species_snr(result), 8.0);
+}
+
+TEST(Simulator, SignalAveragingModeSkipsDecode) {
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 256;
+    cfg.acquisition.mode = pipeline::AcquisitionMode::kSignalAveraging;
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    const auto result = sim.run();
+    EXPECT_DOUBLE_EQ(result.decode_seconds, 0.0);
+    for (std::size_t i = 0; i < result.deconvolved.data().size(); ++i)
+        EXPECT_DOUBLE_EQ(result.deconvolved.data()[i], result.acquisition.raw.data()[i]);
+}
+
+TEST(Simulator, FpgaBackendReportsCycles) {
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 256;
+    cfg.backend = pipeline::BackendKind::kFpga;
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    const auto result = sim.run();
+    ASSERT_TRUE(result.fpga.has_value());
+    EXPECT_GT(result.fpga->total_cycles(), 0u);
+}
+
+TEST(Simulator, FpgaAndCpuBackendsAgree) {
+    SimulatorConfig cpu_cfg = default_config();
+    cpu_cfg.tof.bins = 256;
+    cpu_cfg.acquisition.seed = 777;
+    SimulatorConfig fpga_cfg = cpu_cfg;
+    fpga_cfg.backend = pipeline::BackendKind::kFpga;
+    fpga_cfg.fpga.output_format = QFormat{32, 10};
+
+    Simulator cpu_sim(cpu_cfg, instrument::make_calibration_mix());
+    Simulator fpga_sim(fpga_cfg, instrument::make_calibration_mix());
+    const auto cpu_run = cpu_sim.run();
+    const auto fpga_run = fpga_sim.run();
+    // Same seed -> same raw frame; backends must agree to fixed-point
+    // quantization (inputs also round to integers in the FPGA path).
+    double max_raw = 0.0;
+    for (double v : cpu_run.acquisition.raw.data()) max_raw = std::max(max_raw, v);
+    for (std::size_t i = 0; i < cpu_run.deconvolved.data().size(); ++i)
+        EXPECT_NEAR(fpga_run.deconvolved.data()[i], cpu_run.deconvolved.data()[i],
+                    1.0 + 1e-3 * max_raw);
+}
+
+TEST(Simulator, SameSeedReproduces) {
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 256;
+    Simulator a(cfg, instrument::make_calibration_mix());
+    Simulator b(cfg, instrument::make_calibration_mix());
+    const auto ra = a.run();
+    const auto rb = b.run();
+    for (std::size_t i = 0; i < ra.acquisition.raw.data().size(); ++i)
+        EXPECT_DOUBLE_EQ(ra.acquisition.raw.data()[i], rb.acquisition.raw.data()[i]);
+}
+
+// --------------------------------------------------------- Experiment ----
+
+TEST(Experiment, DefaultConfigIsValid) {
+    const auto cfg = default_config();
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    EXPECT_GT(sim.layout().drift_bins, 0u);
+}
+
+TEST(Experiment, ReplicateSnrAggregates) {
+    SimulatorConfig cfg = default_config();
+    cfg.tof.bins = 256;
+    cfg.acquisition.sequence_order = 6;
+    Simulator sim(cfg, instrument::make_calibration_mix());
+    const auto summary = replicate_snr(sim, 3);
+    EXPECT_EQ(summary.replicates, 3);
+    EXPECT_GT(summary.mean, 0.0);
+    EXPECT_GE(summary.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace htims::core

@@ -1,0 +1,442 @@
+// Tests for src/instrument: drift-cell physics, TOF model, ESI source,
+// funnel trap with AGC, detector statistics, and peptide libraries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "instrument/constants.hpp"
+#include "instrument/detector.hpp"
+#include "instrument/esi_source.hpp"
+#include "instrument/ion_trap.hpp"
+#include "instrument/mobility.hpp"
+#include "instrument/peptide_library.hpp"
+#include "instrument/tof.hpp"
+
+namespace htims::instrument {
+namespace {
+
+IonSpecies test_ion(double k0 = 1.1, int charge = 2, double mz = 650.0) {
+    IonSpecies ion;
+    ion.name = "test";
+    ion.mz = mz;
+    ion.charge = charge;
+    ion.reduced_mobility = k0;
+    ion.intensity = 1e5;
+    return ion;
+}
+
+// ---------------------------------------------------------- DriftCell ----
+
+TEST(DriftCell, DriftTimeFormula) {
+    DriftCellConfig cfg;
+    cfg.length_m = 1.0;
+    cfg.voltage_v = 5000.0;
+    cfg.pressure_torr = 4.0;
+    cfg.temperature_k = 300.0;
+    const DriftCell cell(cfg);
+    const double k0 = 1.0;
+    const double k = cell.mobility(k0);
+    // t_d = L^2 / (K V), with K scaled from STP to cell conditions.
+    EXPECT_NEAR(cell.drift_time(k0), 1.0 / (k * 5000.0), 1e-12);
+    const double k_expected = 1e-4 * (760.0 / 4.0) * (300.0 / 273.15);
+    EXPECT_NEAR(k, k_expected, 1e-9);
+}
+
+TEST(DriftCell, HigherMobilityArrivesSooner) {
+    const DriftCell cell(DriftCellConfig{});
+    EXPECT_LT(cell.drift_time(1.3), cell.drift_time(0.9));
+}
+
+TEST(DriftCell, LowerPressureShortensDrift) {
+    DriftCellConfig lo, hi;
+    lo.pressure_torr = 2.0;
+    hi.pressure_torr = 8.0;
+    EXPECT_LT(DriftCell(lo).drift_time(1.0), DriftCell(hi).drift_time(1.0));
+}
+
+TEST(DriftCell, DiffusionLimitedResolvingPowerScalesWithSqrtVoltageAndCharge) {
+    DriftCellConfig cfg;
+    const DriftCell cell(cfg);
+    const double r1 = cell.diffusion_limited_resolving_power(1);
+    const double r2 = cell.diffusion_limited_resolving_power(2);
+    EXPECT_NEAR(r2 / r1, std::sqrt(2.0), 1e-9);
+
+    DriftCellConfig cfg4 = cfg;
+    cfg4.voltage_v *= 4.0;
+    EXPECT_NEAR(DriftCell(cfg4).diffusion_limited_resolving_power(1) / r1, 2.0, 1e-9);
+}
+
+TEST(DriftCell, RealisticDriftTimeMagnitude) {
+    // A 0.9 m tube at 4 Torr / 4 kV puts typical peptides at ~5-20 ms.
+    const DriftCell cell(DriftCellConfig{});
+    const double t = cell.drift_time(1.1);
+    EXPECT_GT(t, 2e-3);
+    EXPECT_LT(t, 50e-3);
+}
+
+TEST(DriftCell, CoulombTermZeroWithoutCharge) {
+    const DriftCell cell(DriftCellConfig{});
+    const auto r = cell.transit(test_ion(), 0.0);
+    EXPECT_DOUBLE_EQ(r.sigma_coulomb_s, 0.0);
+    EXPECT_GT(r.sigma_diffusion_s, 0.0);
+    EXPECT_GT(r.sigma_gate_s, 0.0);
+}
+
+TEST(DriftCell, CoulombOnsetNearTenThousandCharges) {
+    // The space-charge term must be negligible at 1e2 charges and dominant
+    // at 1e6 — the behaviour reported by Tolmachev et al. (2009).
+    const DriftCell cell(DriftCellConfig{});
+    const auto low = cell.transit(test_ion(), 1e2);
+    const auto mid = cell.transit(test_ion(), 1e4);
+    const auto high = cell.transit(test_ion(), 1e6);
+    EXPECT_LT(low.sigma_coulomb_s, 0.2 * low.sigma_diffusion_s);
+    EXPECT_GT(mid.sigma_coulomb_s, 0.1 * mid.sigma_diffusion_s);
+    EXPECT_GT(high.sigma_coulomb_s, high.sigma_diffusion_s);
+    // Resolving power degrades monotonically.
+    EXPECT_GT(low.resolving_power(), mid.resolving_power());
+    EXPECT_GT(mid.resolving_power(), 2.0 * high.resolving_power());
+}
+
+TEST(DriftCell, TotalSigmaIsQuadratureSum) {
+    const DriftCell cell(DriftCellConfig{});
+    const auto r = cell.transit(test_ion(), 1e5);
+    const double expect = std::sqrt(r.sigma_gate_s * r.sigma_gate_s +
+                                    r.sigma_diffusion_s * r.sigma_diffusion_s +
+                                    r.sigma_coulomb_s * r.sigma_coulomb_s);
+    EXPECT_NEAR(r.sigma_s, expect, 1e-15);
+}
+
+TEST(DriftCell, InvalidConfigRejected) {
+    DriftCellConfig bad;
+    bad.length_m = -1.0;
+    EXPECT_THROW(DriftCell{bad}, ConfigError);
+    bad = DriftCellConfig{};
+    bad.pressure_torr = 0.0;
+    EXPECT_THROW(DriftCell{bad}, ConfigError);
+}
+
+// ---------------------------------------------------------------- TOF ----
+
+TEST(Tof, FlightTimeGrowsWithSqrtMz) {
+    const TofAnalyzer tof(TofConfig{});
+    const double t1 = tof.flight_time_s(400.0);
+    const double t2 = tof.flight_time_s(1600.0);
+    EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(Tof, FlightTimeMagnitudeMicroseconds) {
+    const TofAnalyzer tof(TofConfig{});
+    const double t = tof.flight_time_s(1000.0);
+    EXPECT_GT(t, 1e-6);
+    EXPECT_LT(t, 1e-3);
+}
+
+TEST(Tof, BinMappingRoundTrips) {
+    const TofAnalyzer tof(TofConfig{});
+    for (std::size_t b : {std::size_t{0}, std::size_t{100}, tof.bins() - 1})
+        EXPECT_EQ(tof.bin_of(tof.bin_center(b)), b);
+}
+
+TEST(Tof, BinOfClampsOutOfRange) {
+    const TofAnalyzer tof(TofConfig{});
+    EXPECT_EQ(tof.bin_of(1.0), 0u);
+    EXPECT_EQ(tof.bin_of(1e9), tof.bins() - 1);
+}
+
+TEST(Tof, IsotopeEnvelopeNormalizedAndSpaced) {
+    const TofAnalyzer tof(TofConfig{});
+    const auto ion = test_ion(1.1, 2, 800.0);
+    const auto peaks = tof.isotope_envelope(ion);
+    ASSERT_GE(peaks.size(), 2u);
+    double total = 0.0;
+    for (const auto& p : peaks) total += p.relative_abundance;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(peaks[1].mz - peaks[0].mz, kIsotopeSpacingDa / 2.0, 1e-9);
+}
+
+TEST(Tof, HeavyPeptideShiftsEnvelopeToA1) {
+    const TofAnalyzer tof(TofConfig{});
+    // Light peptide: monoisotopic dominates. Heavy: A+1 exceeds A+0.
+    const auto light = tof.isotope_envelope(test_ion(1.1, 2, 400.0));
+    const auto heavy = tof.isotope_envelope(test_ion(1.1, 3, 1200.0));
+    EXPECT_GT(light[0].relative_abundance, light[1].relative_abundance);
+    EXPECT_GT(heavy[1].relative_abundance, heavy[0].relative_abundance);
+}
+
+TEST(Tof, DepositConservesIons) {
+    const TofAnalyzer tof(TofConfig{});
+    AlignedVector<double> spectrum(tof.bins(), 0.0);
+    tof.deposit(test_ion(1.1, 2, 650.0), 1000.0, 0.0, spectrum);
+    double total = 0.0;
+    for (double v : spectrum) total += v;
+    EXPECT_NEAR(total, 1000.0, 1.0);
+}
+
+TEST(Tof, DepositPeakAtExpectedBin) {
+    const TofAnalyzer tof(TofConfig{});
+    AlignedVector<double> spectrum(tof.bins(), 0.0);
+    const auto ion = test_ion(1.1, 2, 650.0);
+    tof.deposit(ion, 1000.0, 0.0, spectrum);
+    std::size_t apex = 0;
+    for (std::size_t b = 1; b < spectrum.size(); ++b)
+        if (spectrum[b] > spectrum[apex]) apex = b;
+    EXPECT_NEAR(static_cast<double>(apex), static_cast<double>(tof.bin_of(650.0)), 1.5);
+}
+
+TEST(Tof, MassOffsetShiftsPeak) {
+    TofConfig cfg;
+    cfg.bins = 32768;  // fine bins so 200 ppm moves the apex measurably.
+    // (200 ppm, not 500: at z=2 a 500 ppm shift of m/z 1000 equals one
+    // isotope spacing, which would land the shifted A peak on the A+1 bin.)
+    const TofAnalyzer tof(cfg);
+    AlignedVector<double> a(tof.bins(), 0.0), b(tof.bins(), 0.0);
+    tof.deposit(test_ion(1.1, 2, 1000.0), 1000.0, 0.0, a);
+    tof.deposit(test_ion(1.1, 2, 1000.0), 1000.0, 200.0, b);
+    std::size_t apex_a = 0, apex_b = 0;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        if (a[i] > a[apex_a]) apex_a = i;
+        if (b[i] > b[apex_b]) apex_b = i;
+    }
+    EXPECT_GT(apex_b, apex_a);
+}
+
+TEST(Tof, OutOfRangeSpeciesIgnored) {
+    const TofAnalyzer tof(TofConfig{});
+    AlignedVector<double> spectrum(tof.bins(), 0.0);
+    tof.deposit(test_ion(1.1, 1, 50.0), 1000.0, 0.0, spectrum);  // below mz_min
+    for (double v : spectrum) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------- EsiSource ----
+
+TEST(EsiSource, ConstantWithoutLc) {
+    SampleMixture mix;
+    mix.species.push_back(test_ion());
+    const EsiSource src(mix, false);
+    EXPECT_DOUBLE_EQ(src.current(0, 0.0), 1e5);
+    EXPECT_DOUBLE_EQ(src.current(0, 500.0), 1e5);
+}
+
+TEST(EsiSource, LcPeakShapesCurrent) {
+    SampleMixture mix;
+    auto ion = test_ion();
+    ion.retention_time_s = 100.0;
+    ion.lc_sigma_s = 10.0;
+    mix.species.push_back(ion);
+    const EsiSource src(mix, true);
+    EXPECT_DOUBLE_EQ(src.current(0, 100.0), 1e5);
+    EXPECT_NEAR(src.current(0, 110.0), 1e5 * std::exp(-0.5), 1.0);
+    EXPECT_LT(src.current(0, 200.0), 1.0);
+}
+
+TEST(EsiSource, TotalCurrentSumsSpecies) {
+    SampleMixture mix;
+    mix.species.push_back(test_ion());
+    mix.species.push_back(test_ion());
+    const EsiSource src(mix, false);
+    EXPECT_DOUBLE_EQ(src.total_current(0.0), 2e5);
+}
+
+// ------------------------------------------------------ IonFunnelTrap ----
+
+TEST(Trap, LinearBelowCapacity) {
+    const IonFunnelTrap trap(IonTrapConfig{});
+    SampleMixture mix;
+    mix.species.push_back(test_ion(1.1, 2));
+    const double currents[] = {1e6};
+    const auto fill = trap.accumulate(currents, mix.species, 1e-3);
+    EXPECT_FALSE(fill.saturated);
+    EXPECT_NEAR(fill.ions[0], 1e6 * 1e-3 * 0.9, 1.0);  // transmission 0.9
+    EXPECT_NEAR(fill.total_charges, fill.ions[0] * 2.0, 1.0);
+}
+
+TEST(Trap, SaturatesAtCapacity) {
+    IonTrapConfig cfg;
+    cfg.capacity_charges = 1e4;
+    cfg.transmission = 1.0;
+    const IonFunnelTrap trap(cfg);
+    SampleMixture mix;
+    mix.species.push_back(test_ion(1.1, 2));
+    const double currents[] = {1e8};
+    const auto fill = trap.accumulate(currents, mix.species, 1e-3);  // 2e5 in
+    EXPECT_TRUE(fill.saturated);
+    EXPECT_NEAR(fill.total_charges, 1e4, 1.0);
+}
+
+TEST(Trap, AgcTargetsCapacityFraction) {
+    IonTrapConfig cfg;
+    cfg.capacity_charges = 1e6;
+    cfg.agc_target_fraction = 0.5;
+    const IonFunnelTrap trap(cfg);
+    // 1e8 charges/s -> need 5e-3 s for half capacity.
+    EXPECT_NEAR(trap.agc_fill_time(1e8), 5e-3, 1e-9);
+}
+
+TEST(Trap, AgcClampsToBounds) {
+    const IonFunnelTrap trap(IonTrapConfig{});
+    EXPECT_DOUBLE_EQ(trap.agc_fill_time(1e15), IonTrapConfig{}.min_fill_time_s);
+    EXPECT_DOUBLE_EQ(trap.agc_fill_time(1e-3), IonTrapConfig{}.max_fill_time_s);
+    EXPECT_DOUBLE_EQ(trap.agc_fill_time(0.0), IonTrapConfig{}.max_fill_time_s);
+}
+
+TEST(Trap, UtilizationCapsAtTransmission) {
+    const IonFunnelTrap trap(IonTrapConfig{});
+    EXPECT_NEAR(trap.utilization(10e-3, 10e-3), 0.9, 1e-12);
+    EXPECT_NEAR(trap.utilization(20e-3, 10e-3), 0.9, 1e-12);
+    EXPECT_NEAR(trap.utilization(1e-3, 10e-3), 0.09, 1e-12);
+}
+
+TEST(Trap, InvalidConfigRejected) {
+    IonTrapConfig bad;
+    bad.transmission = 1.5;
+    EXPECT_THROW(IonFunnelTrap{bad}, ConfigError);
+    bad = IonTrapConfig{};
+    bad.capacity_charges = 0.0;
+    EXPECT_THROW(IonFunnelTrap{bad}, ConfigError);
+}
+
+// ----------------------------------------------------------- Detector ----
+
+TEST(Detector, MeanResponseTracksExpectedIons) {
+    const Detector det(DetectorConfig{});
+    Rng rng(21);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(det.analog_sample(5.0, rng));
+    EXPECT_NEAR(stats.mean(), det.expected_response(5.0), 0.1);
+}
+
+TEST(Detector, ZeroSignalGivesNoiseAroundDark) {
+    const Detector det(DetectorConfig{});
+    Rng rng(22);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(det.analog_sample(0.0, rng));
+    EXPECT_NEAR(stats.mean(), det.expected_response(0.0), 0.05);
+}
+
+TEST(Detector, DigitizeClampsAndRounds) {
+    DetectorConfig cfg;
+    cfg.adc_bits = 8;
+    const Detector det(cfg);
+    EXPECT_EQ(det.digitize(-5.0), 0u);
+    EXPECT_EQ(det.digitize(3.4), 3u);
+    EXPECT_EQ(det.digitize(1e6), 255u);
+}
+
+TEST(Detector, NoClipModePassesLargeValues) {
+    DetectorConfig cfg;
+    cfg.clip = false;
+    const Detector det(cfg);
+    EXPECT_EQ(det.digitize(1e6), 1000000u);
+}
+
+TEST(Detector, AccumulatedMatchesSumStatistics) {
+    const Detector det(DetectorConfig{});
+    Rng rng1(23), rng2(24);
+    const std::size_t periods = 64;
+    AlignedVector<double> expected(1, 2.0);
+    RunningStats direct, fast;
+    for (int rep = 0; rep < 3000; ++rep) {
+        double sum = 0.0;
+        for (std::size_t p = 0; p < periods; ++p)
+            sum += static_cast<double>(det.digitize(det.analog_sample(2.0, rng1)));
+        direct.add(sum);
+        AlignedVector<double> out(1);
+        det.acquire_accumulated(expected, periods, out, rng2);
+        fast.add(out[0]);
+    }
+    EXPECT_NEAR(fast.mean() / direct.mean(), 1.0, 0.05);
+    EXPECT_NEAR(fast.stddev() / direct.stddev(), 1.0, 0.2);
+}
+
+TEST(Detector, PoissonVarianceVisible) {
+    const Detector det(DetectorConfig{.gain = 1.0,
+                                      .gain_spread = 0.0,
+                                      .noise_sigma = 0.0,
+                                      .dark_rate = 0.0,
+                                      .adc_bits = 16,
+                                      .clip = true});
+    Rng rng(25);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i) stats.add(det.analog_sample(9.0, rng));
+    EXPECT_NEAR(stats.mean(), 9.0, 0.1);
+    EXPECT_NEAR(stats.variance(), 9.0, 0.3);
+}
+
+TEST(Detector, InvalidConfigRejected) {
+    DetectorConfig bad;
+    bad.adc_bits = 0;
+    EXPECT_THROW(Detector{bad}, ConfigError);
+    bad = DetectorConfig{};
+    bad.gain = 0.0;
+    EXPECT_THROW(Detector{bad}, ConfigError);
+}
+
+// ----------------------------------------------------- PeptideLibrary ----
+
+TEST(PeptideLibrary, CalibrationMixHasNinePlausiblePeptides) {
+    const auto mix = make_calibration_mix();
+    ASSERT_EQ(mix.species.size(), 9u);
+    for (const auto& sp : mix.species) {
+        EXPECT_GT(sp.mz, 300.0);
+        EXPECT_LT(sp.mz, 1500.0);
+        EXPECT_GE(sp.charge, 2);
+        EXPECT_GT(sp.reduced_mobility, 0.8);
+        EXPECT_LT(sp.reduced_mobility, 1.6);
+    }
+}
+
+TEST(PeptideLibrary, DigestIsDeterministic) {
+    PeptideLibraryConfig cfg;
+    cfg.count = 50;
+    const auto a = make_tryptic_digest(cfg);
+    const auto b = make_tryptic_digest(cfg);
+    ASSERT_EQ(a.species.size(), b.species.size());
+    for (std::size_t i = 0; i < a.species.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.species[i].mz, b.species[i].mz);
+        EXPECT_DOUBLE_EQ(a.species[i].intensity, b.species[i].intensity);
+    }
+}
+
+TEST(PeptideLibrary, DigestSeedChangesContent) {
+    PeptideLibraryConfig a, b;
+    a.count = b.count = 20;
+    b.seed = 43;
+    EXPECT_NE(make_tryptic_digest(a).species[0].mz,
+              make_tryptic_digest(b).species[0].mz);
+}
+
+TEST(PeptideLibrary, DigestRespectsRanges) {
+    PeptideLibraryConfig cfg;
+    cfg.count = 300;
+    const auto mix = make_tryptic_digest(cfg);
+    ASSERT_EQ(mix.species.size(), 300u);
+    for (const auto& sp : mix.species) {
+        const double mass = sp.neutral_mass();
+        EXPECT_GE(mass, cfg.mass_min_da * 0.99);
+        EXPECT_LE(mass, cfg.mass_max_da * 1.01);
+        EXPECT_GE(sp.intensity, cfg.abundance_min * 0.99);
+        EXPECT_LE(sp.intensity, cfg.abundance_max * 1.01);
+        EXPECT_GE(sp.retention_time_s, cfg.gradient_start_s);
+        EXPECT_LE(sp.retention_time_s, cfg.gradient_end_s);
+        EXPECT_TRUE(sp.charge == 2 || sp.charge == 3);
+    }
+}
+
+TEST(PeptideLibrary, TrendlineCalibration) {
+    EXPECT_NEAR(peptide_trendline_k0(1500.0, 2), 1.1, 0.05);
+    // Higher charge means higher mobility at equal mass.
+    EXPECT_GT(peptide_trendline_k0(1500.0, 3), peptide_trendline_k0(1500.0, 2));
+}
+
+TEST(PeptideLibrary, SpikedPeptideUsesTrendline) {
+    const auto sp = make_spiked_peptide("spike", 750.0, 2, 1e4);
+    EXPECT_DOUBLE_EQ(sp.mz, 750.0);
+    EXPECT_NEAR(sp.reduced_mobility,
+                peptide_trendline_k0((750.0 - kProtonMassDa) * 2.0, 2), 1e-12);
+}
+
+}  // namespace
+}  // namespace htims::instrument

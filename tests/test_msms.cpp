@@ -1,0 +1,184 @@
+// Tests for src/msms: synthetic fragmentation ladders and the multiplexed
+// IMS-CID-MS/MS assignment pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "instrument/peptide_library.hpp"
+#include "msms/fragmentation.hpp"
+#include "msms/msms.hpp"
+
+namespace htims::msms {
+namespace {
+
+instrument::IonSpecies precursor(double mz = 650.0, int z = 2,
+                                 const std::string& name = "pep") {
+    instrument::IonSpecies sp = instrument::make_spiked_peptide(name, mz, z, 1e5);
+    return sp;
+}
+
+// ------------------------------------------------------ Fragmentation ----
+
+TEST(Fragmentation, LaddersAreMassConsistent) {
+    const auto f = fragment_peptide(precursor(), 100.0, 3200.0);
+    ASSERT_GE(f.residues.size(), 3u);
+    double total = 0.0;
+    for (double r : f.residues) total += r;
+    // Residues sum to the neutral mass minus water.
+    EXPECT_NEAR(total, f.precursor.neutral_mass() - 18.010565, 1e-6);
+
+    // Complementary b/y pairs sum to precursor neutral mass + 2 protons
+    // (the water lost from the b fragment reappears in the y fragment).
+    const auto ladder = ladder_mzs(f.residues);
+    for (std::size_t cut = 0; cut + 1 < f.residues.size(); ++cut) {
+        const double b = ladder[2 * cut];
+        const double y = ladder[2 * cut + 1];
+        EXPECT_NEAR(b + y, f.precursor.neutral_mass() + 2.0 * 1.007276466, 1e-6);
+    }
+}
+
+TEST(Fragmentation, DeterministicPerNameAndSeed) {
+    const auto a = fragment_peptide(precursor(650.0, 2, "x"), 100.0, 3200.0, 7);
+    const auto b = fragment_peptide(precursor(650.0, 2, "x"), 100.0, 3200.0, 7);
+    ASSERT_EQ(a.fragments.size(), b.fragments.size());
+    for (std::size_t i = 0; i < a.fragments.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.fragments[i].mz, b.fragments[i].mz);
+    const auto c = fragment_peptide(precursor(650.0, 2, "y"), 100.0, 3200.0, 7);
+    EXPECT_NE(a.residues.size() == c.residues.size() &&
+                  a.fragments.size() == c.fragments.size() &&
+                  (a.fragments.empty() ||
+                   a.fragments[0].mz == c.fragments[0].mz),
+              true);
+}
+
+TEST(Fragmentation, FractionsNormalizedAndInRange) {
+    const auto f = fragment_peptide(precursor(800.0, 2, "p2"), 100.0, 3200.0);
+    ASSERT_FALSE(f.fragments.empty());
+    double total = 0.0;
+    for (const auto& frag : f.fragments) {
+        EXPECT_GT(frag.fraction, 0.0);
+        EXPECT_GE(frag.mz, 100.0);
+        EXPECT_LT(frag.mz, 3200.0);
+        total += frag.fraction;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Fragmentation, RangeCutRemovesFragments) {
+    const auto wide = fragment_peptide(precursor(900.0, 2, "w"), 100.0, 3200.0);
+    const auto narrow = fragment_peptide(precursor(900.0, 2, "w"), 400.0, 900.0);
+    EXPECT_LT(narrow.fragments.size(), wide.fragments.size());
+    for (const auto& frag : narrow.fragments) {
+        EXPECT_GE(frag.mz, 400.0);
+        EXPECT_LT(frag.mz, 900.0);
+    }
+}
+
+TEST(Fragmentation, DecoyLadderShifted) {
+    const std::vector<double> ladder = {200.0, 300.0};
+    const auto decoy = decoy_ladder(ladder, 7.77);
+    EXPECT_DOUBLE_EQ(decoy[0], 207.77);
+    EXPECT_DOUBLE_EQ(decoy[1], 307.77);
+}
+
+TEST(Fragmentation, TooLightPrecursorRejected) {
+    EXPECT_THROW(fragment_peptide(precursor(60.0, 1, "tiny"), 100.0, 3200.0),
+                 ConfigError);
+}
+
+// ----------------------------------------------------- MsmsExperiment ----
+
+core::SimulatorConfig msms_sim_config() {
+    core::SimulatorConfig cfg = core::default_config();
+    cfg.tof.bins = 2048;
+    cfg.acquisition.sequence_order = 7;
+    cfg.acquisition.averages = 16;
+    return cfg;
+}
+
+TEST(Msms, IdentifiesWellSeparatedPrecursors) {
+    instrument::SampleMixture mix;
+    mix.species.push_back(instrument::make_spiked_peptide("pepA", 520.0, 2, 1e6));
+    mix.species.push_back(instrument::make_spiked_peptide("pepB", 840.0, 2, 1e6));
+    // Distinct mobilities -> distinct drift profiles.
+    mix.species[0].reduced_mobility = 1.25;
+    mix.species[1].reduced_mobility = 0.95;
+
+    MsmsConfig msms;
+    msms.min_fragments = 3;
+    MsmsExperiment experiment(msms_sim_config(), mix, msms);
+    const auto result = experiment.run();
+
+    EXPECT_EQ(result.identified, 2u);
+    EXPECT_LT(result.fdr_estimate, 0.1);
+    for (const auto& ev : result.evidence) {
+        EXPECT_TRUE(ev.identified) << ev.name;
+        EXPECT_GE(ev.matched_fragments, 3u) << ev.name;
+    }
+}
+
+TEST(Msms, AssignmentsPointToCorrectPrecursor) {
+    instrument::SampleMixture mix;
+    mix.species.push_back(instrument::make_spiked_peptide("pepA", 520.0, 2, 1e6));
+    mix.species.push_back(instrument::make_spiked_peptide("pepB", 840.0, 2, 1e6));
+    mix.species[0].reduced_mobility = 1.25;
+    mix.species[1].reduced_mobility = 0.95;
+
+    MsmsExperiment experiment(msms_sim_config(), mix, MsmsConfig{});
+    const auto result = experiment.run();
+    const auto& fragmented = experiment.precursors();
+
+    // Every mass-matched assignment must match the ladder of the precursor
+    // it was profile-assigned to (cross-talk would show up as matches to
+    // the other precursor's ladder).
+    std::size_t checked = 0;
+    for (const auto& a : result.assignments) {
+        if (a.precursor < 0 || !a.mass_matched) continue;
+        const auto& own =
+            ladder_mzs(fragmented[static_cast<std::size_t>(a.precursor)].residues);
+        double best = 1e9;
+        for (double mz : own) best = std::min(best, std::abs(a.peak.mz - mz));
+        EXPECT_LE(best, 2.0);  // bounded by the m/z bin width
+        ++checked;
+    }
+    EXPECT_GE(checked, 6u);
+}
+
+TEST(Msms, CoDriftingPrecursorsShareAssignments) {
+    // Identical mobility -> indistinguishable drift profiles. The profile
+    // correlation cannot separate them; identifications then rely purely on
+    // ladder masses, and the pipeline must not crash or mis-assign to a
+    // *non*-overlapping precursor.
+    instrument::SampleMixture mix;
+    mix.species.push_back(instrument::make_spiked_peptide("pepA", 520.0, 2, 1e6));
+    mix.species.push_back(instrument::make_spiked_peptide("pepB", 524.0, 2, 1e6));
+    mix.species[0].reduced_mobility = 1.1;
+    mix.species[1].reduced_mobility = 1.1;
+    MsmsExperiment experiment(msms_sim_config(), mix, MsmsConfig{});
+    const auto result = experiment.run();
+    SUCCEED();  // structural: completes with plausible bookkeeping
+    EXPECT_LE(result.identified, 2u);
+}
+
+TEST(Msms, NoFragmentationMeansNoIds) {
+    instrument::SampleMixture mix;
+    mix.species.push_back(instrument::make_spiked_peptide("pepA", 520.0, 2, 1e6));
+    MsmsConfig msms;
+    msms.cid_efficiency = 0.0;  // collision cell off
+    MsmsExperiment experiment(msms_sim_config(), mix, msms);
+    const auto result = experiment.run();
+    EXPECT_EQ(result.identified, 0u);
+}
+
+TEST(Msms, InvalidEfficiencyRejected) {
+    instrument::SampleMixture mix;
+    mix.species.push_back(instrument::make_spiked_peptide("pepA", 520.0, 2, 1e6));
+    MsmsConfig msms;
+    msms.cid_efficiency = 1.5;
+    EXPECT_THROW(MsmsExperiment(msms_sim_config(), mix, msms), ConfigError);
+}
+
+}  // namespace
+}  // namespace htims::msms

@@ -1,0 +1,262 @@
+// Tests for src/prs: primitive polynomials, LFSR maximality (exhaustive for
+// every supported order), m-sequence properties, simplex-matrix algebra,
+// and the oversampled/modified PRS.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "prs/lfsr.hpp"
+#include "prs/oversampled.hpp"
+#include "prs/polynomials.hpp"
+#include "prs/sequence.hpp"
+
+namespace htims::prs {
+namespace {
+
+// -------------------------------------------------------- Polynomials ----
+
+TEST(Polynomials, SupportedRangeHasTaps) {
+    for (int order = kMinOrder; order <= kMaxOrder; ++order) {
+        const auto taps = primitive_taps(order);
+        ASSERT_GE(taps.size(), 2u) << "order " << order;
+        EXPECT_EQ(taps[0], order) << "leading tap must equal the order";
+    }
+}
+
+TEST(Polynomials, UnsupportedOrdersThrow) {
+    EXPECT_THROW(primitive_taps(1), ConfigError);
+    EXPECT_THROW(primitive_taps(0), ConfigError);
+    EXPECT_THROW(primitive_taps(21), ConfigError);
+    EXPECT_THROW(sequence_length(-3), ConfigError);
+}
+
+TEST(Polynomials, SequenceLength) {
+    EXPECT_EQ(sequence_length(2), 3u);
+    EXPECT_EQ(sequence_length(8), 255u);
+    EXPECT_EQ(sequence_length(16), 65535u);
+}
+
+TEST(Polynomials, TapMaskMatchesTaps) {
+    const auto taps = primitive_taps(8);
+    std::uint32_t expected = 0;
+    for (int t : taps) expected |= 1u << (t - 1);
+    EXPECT_EQ(tap_mask(8), expected);
+}
+
+// --------------------------------------------------------------- LFSR ----
+
+class LfsrMaximality : public ::testing::TestWithParam<int> {};
+
+// The definitive check for every shipped polynomial: the Fibonacci LFSR
+// must visit all 2^n - 1 nonzero states before returning to its seed.
+TEST_P(LfsrMaximality, FibonacciVisitsAllNonzeroStates) {
+    const int order = GetParam();
+    const auto n = sequence_length(order);
+    FibonacciLfsr lfsr(order);
+    const std::uint32_t seed = lfsr.state();
+    std::uint64_t steps = 0;
+    do {
+        lfsr.step();
+        ++steps;
+        ASSERT_LE(steps, n) << "period exceeds maximal length";
+        ASSERT_NE(lfsr.state(), 0u) << "LFSR reached the absorbing zero state";
+    } while (lfsr.state() != seed);
+    EXPECT_EQ(steps, n) << "polynomial for order " << order << " is not primitive";
+}
+
+TEST_P(LfsrMaximality, GaloisHasMaximalPeriod) {
+    const int order = GetParam();
+    const auto n = sequence_length(order);
+    GaloisLfsr lfsr(order);
+    const std::uint32_t seed = lfsr.state();
+    std::uint64_t steps = 0;
+    do {
+        lfsr.step();
+        ++steps;
+        ASSERT_LE(steps, n);
+    } while (lfsr.state() != seed);
+    EXPECT_EQ(steps, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, LfsrMaximality,
+                         ::testing::Range(kMinOrder, kMaxOrder + 1));
+
+TEST(Lfsr, ZeroSeedMeansAllOnes) {
+    FibonacciLfsr a(5, 0), b(5, 0x1F);
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+TEST(Lfsr, SeedSelectsPhase) {
+    // Reseeding from a mid-stream state continues the same bit sequence.
+    FibonacciLfsr a(5);
+    for (int i = 0; i < 7; ++i) a.step();
+    FibonacciLfsr b(5, a.state());
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(b.step(), a.step());
+}
+
+// ---------------------------------------------------------- MSequence ----
+
+class MSequenceProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(MSequenceProperties, BalanceProperty) {
+    const MSequence seq(GetParam());
+    // An m-sequence has exactly 2^(n-1) ones and 2^(n-1) - 1 zeros.
+    EXPECT_EQ(seq.ones(), (seq.length() + 1) / 2);
+}
+
+TEST_P(MSequenceProperties, TwoValuedAutocorrelation) {
+    const MSequence seq(GetParam());
+    const auto n = static_cast<double>(seq.length());
+    EXPECT_DOUBLE_EQ(seq.autocorrelation(0), n);
+    for (std::size_t lag = 1; lag < std::min<std::size_t>(seq.length(), 32); ++lag)
+        EXPECT_DOUBLE_EQ(seq.autocorrelation(lag), -1.0) << "lag " << lag;
+}
+
+TEST_P(MSequenceProperties, StatesAreDistinctAndNonzero) {
+    const MSequence seq(GetParam());
+    std::set<std::uint32_t> states(seq.states().begin(), seq.states().end());
+    EXPECT_EQ(states.size(), seq.length());
+    EXPECT_EQ(states.count(0), 0u);
+}
+
+TEST_P(MSequenceProperties, UnitStateTimesAreConsistent) {
+    const MSequence seq(GetParam());
+    for (int k = 0; k < seq.order(); ++k) {
+        const std::size_t t = seq.unit_state_time(k);
+        EXPECT_EQ(seq.states()[t], 1u << k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MSequenceProperties,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 12));
+
+TEST(MSequence, DutyCycleNearHalf) {
+    const MSequence seq(8);
+    EXPECT_NEAR(seq.duty_cycle(), 0.5, 0.01);
+}
+
+TEST(MSequence, BitIsPeriodic) {
+    const MSequence seq(4);
+    for (std::size_t t = 0; t < seq.length(); ++t)
+        EXPECT_EQ(seq.bit(t), seq.bit(t + seq.length()));
+}
+
+// ------------------------------------------------------ SimplexMatrix ----
+
+class SimplexProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProperties, ClosedFormInverseIsExact) {
+    const MSequence seq(GetParam());
+    const SimplexMatrix s(seq);
+    const std::size_t n = s.size();
+    // (S^{-1} S)[i][j] == delta_ij, checked exactly.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k) acc += s.inverse_at(i, k) * s.at(k, j);
+            EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-9) << i << "," << j;
+        }
+    }
+}
+
+TEST_P(SimplexProperties, EncodeDecodeRoundTrip) {
+    const MSequence seq(GetParam());
+    const SimplexMatrix s(seq);
+    AlignedVector<double> x(s.size(), 0.0);
+    x[1] = 3.0;
+    x[s.size() / 2] = 7.5;
+    x[s.size() - 1] = 1.25;
+    const auto y = s.encode(x);
+    const auto back = s.decode(y);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SimplexProperties, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(SimplexMatrix, RowsArePermutationsOfSequence) {
+    const MSequence seq(4);
+    const SimplexMatrix s(seq);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        std::size_t ones = 0;
+        for (std::size_t j = 0; j < s.size(); ++j)
+            ones += static_cast<std::size_t>(s.at(i, j));
+        EXPECT_EQ(ones, seq.ones());
+    }
+}
+
+TEST(SimplexMatrix, EncodePreservesTotalTimesOnes) {
+    const MSequence seq(5);
+    const SimplexMatrix s(seq);
+    AlignedVector<double> x(s.size(), 0.0);
+    x[3] = 2.0;
+    x[17] = 5.0;
+    const auto y = s.encode(x);
+    const double total = std::accumulate(y.begin(), y.end(), 0.0);
+    EXPECT_NEAR(total, 7.0 * static_cast<double>(seq.ones()), 1e-9);
+}
+
+// -------------------------------------------------------- Oversampled ----
+
+TEST(OversampledPrs, Factor1PulsedMatchesBaseOnes) {
+    const OversampledPrs prs(6, 1, GateMode::kPulsed);
+    EXPECT_EQ(prs.length(), prs.base().length());
+    EXPECT_EQ(prs.pulse_count(), std::size_t{1} << 4);  // runs of ones = 2^(n-2)
+}
+
+TEST(OversampledPrs, PulsedModePulseCountIsOnesCount) {
+    const OversampledPrs prs(8, 2, GateMode::kPulsed);
+    // Every '1' chip contributes exactly one isolated gate pulse.
+    EXPECT_EQ(prs.pulse_count(), prs.base().ones());
+}
+
+TEST(OversampledPrs, StretchedModePulseCountIsRunsOfOnes) {
+    const OversampledPrs prs(8, 2, GateMode::kStretched);
+    // Runs of ones in an m-sequence of order n: 2^(n-2).
+    EXPECT_EQ(prs.pulse_count(), std::size_t{1} << 6);
+}
+
+TEST(OversampledPrs, ModifiedPrsDoublesPulseRate) {
+    // The headline property of the modified sequence (Clowers 2008): about
+    // 2x more gate pulses per unit time than classic HT-IMS of the same
+    // duration.
+    const OversampledPrs classic(8, 1, GateMode::kStretched);
+    const OversampledPrs modified(8, 2, GateMode::kPulsed);
+    const double ratio = modified.pulses_per_bin() * 2.0 /  // same wall time:
+                         (classic.pulses_per_bin());        // 2x bins per period
+    EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(OversampledPrs, OpenFraction) {
+    const OversampledPrs stretched(6, 3, GateMode::kStretched);
+    EXPECT_NEAR(stretched.open_fraction(), 0.5, 0.02);
+    const OversampledPrs pulsed(6, 3, GateMode::kPulsed);
+    EXPECT_NEAR(pulsed.open_fraction(), 0.5 / 3.0, 0.02);
+}
+
+TEST(OversampledPrs, GateMatchesBaseChips) {
+    const OversampledPrs prs(5, 2, GateMode::kStretched);
+    const auto gate = prs.gate();
+    for (std::size_t q = 0; q < prs.base().length(); ++q) {
+        EXPECT_EQ(gate[2 * q], prs.base().bit(q));
+        EXPECT_EQ(gate[2 * q + 1], prs.base().bit(q));
+    }
+}
+
+TEST(OversampledPrs, EncodeReferenceDeltaGivesGate) {
+    const OversampledPrs prs(4, 2, GateMode::kPulsed);
+    AlignedVector<double> x(prs.length(), 0.0);
+    x[0] = 1.0;  // delta at zero drift: detector sees the gate waveform
+    const auto y = prs.encode_reference(x);
+    for (std::size_t t = 0; t < y.size(); ++t)
+        EXPECT_DOUBLE_EQ(y[t], static_cast<double>(prs.gate()[t]));
+}
+
+TEST(OversampledPrs, InvalidFactorRejected) {
+    EXPECT_THROW(OversampledPrs(4, 0, GateMode::kPulsed), ConfigError);
+    EXPECT_THROW(OversampledPrs(4, 65, GateMode::kPulsed), ConfigError);
+}
+
+}  // namespace
+}  // namespace htims::prs

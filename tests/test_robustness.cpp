@@ -1,0 +1,124 @@
+// Robustness and edge-case tests across module boundaries: seeded sequence
+// phases, multi-frame streams, tiny-ring backpressure, and degenerate
+// inputs that production use will eventually hit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pipeline/frame_io.hpp"
+#include "pipeline/hybrid.hpp"
+#include "prs/sequence.hpp"
+#include "transform/deconvolver.hpp"
+#include "transform/enhanced.hpp"
+
+namespace htims {
+namespace {
+
+// Any cyclic phase of the m-sequence (selected by the LFSR seed) must give
+// a working deconvolver — the instrument does not control which phase the
+// gate controller powers up in.
+TEST(Robustness, DeconvolverWorksForEverySeedPhase) {
+    Rng rng(41);
+    for (const std::uint32_t seed : {1u, 2u, 17u, 30u, 31u}) {
+        const prs::MSequence seq(5, seed);
+        const transform::Deconvolver d(seq);
+        AlignedVector<double> x(seq.length(), 0.0);
+        x[3] = 4.0;
+        x[20] = 1.5;
+        const auto y = d.encode(x);
+        const auto back = d.decode(y);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_NEAR(back[i], x[i], 1e-9) << "seed " << seed << " i " << i;
+    }
+    (void)rng;
+}
+
+// Different seed phases produce cyclically shifted bit sequences of the
+// same underlying m-sequence (same balance, same autocorrelation).
+TEST(Robustness, SeedPhasesPreserveSequenceProperties) {
+    const prs::MSequence a(7, 1), b(7, 77);
+    EXPECT_EQ(a.ones(), b.ones());
+    EXPECT_DOUBLE_EQ(a.autocorrelation(3), b.autocorrelation(3));
+}
+
+// Two frames written back-to-back into one stream read back in order —
+// the multi-frame file layout an LC run produces.
+TEST(Robustness, MultiFrameStreamRoundTrips) {
+    pipeline::FrameLayout layout{.drift_bins = 14, .mz_bins = 6,
+                                 .drift_bin_width_s = 1e-4};
+    pipeline::Frame f1(layout), f2(layout);
+    f1.at(2, 3) = 1.0;
+    f2.at(7, 1) = 9.0;
+    std::stringstream ss;
+    pipeline::write_frame(ss, f1);
+    pipeline::write_frame(ss, f2);
+    const auto r1 = pipeline::read_frame(ss);
+    const auto r2 = pipeline::read_frame(ss);
+    EXPECT_DOUBLE_EQ(r1.at(2, 3), 1.0);
+    EXPECT_DOUBLE_EQ(r2.at(7, 1), 9.0);
+    EXPECT_THROW(pipeline::read_frame(ss), Error);  // stream exhausted
+}
+
+// A deliberately tiny ring must exert backpressure without corrupting the
+// stream or deadlocking.
+TEST(Robustness, HybridSurvivesTinyRing) {
+    const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
+    pipeline::FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 16,
+                                 .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 2);
+    pipeline::HybridConfig cfg;
+    cfg.backend = pipeline::BackendKind::kFpga;
+    cfg.frames = 3;
+    cfg.averages = 4;
+    cfg.ring_records = 2;  // minimum depth
+    pipeline::HybridPipeline pipe(seq, layout, period, cfg);
+    const auto report = pipe.run();
+    EXPECT_EQ(report.frames, 3u);
+    EXPECT_EQ(report.samples, 3u * 4u * layout.cells());
+    EXPECT_GE(report.producer_stall_seconds, 0.0);
+}
+
+// Enhanced decode of an all-zero record returns all zeros (no anchor
+// pathologies on empty input).
+TEST(Robustness, EnhancedDecodeOfSilenceIsSilence) {
+    for (const auto mode : {prs::GateMode::kPulsed, prs::GateMode::kStretched}) {
+        const prs::OversampledPrs seq(6, 2, mode);
+        const transform::EnhancedDeconvolver d(seq);
+        AlignedVector<double> y(seq.length(), 0.0);
+        const auto x = d.decode(y);
+        for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+}
+
+// A constant (DC) multiplexed record decodes to a constant drift spectrum:
+// the simplex inverse must not manufacture structure from offsets.
+TEST(Robustness, DcOffsetDecodesToDc) {
+    const prs::MSequence seq(8);
+    const transform::Deconvolver d(seq);
+    AlignedVector<double> y(seq.length(), 5.0);
+    const auto x = d.decode(y);
+    // S * c = c * ones_per_row = c * 2^(n-1); inverse maps constant to
+    // constant c / 2^(n-1).
+    const double expect = 5.0 / 128.0;
+    for (double v : x) EXPECT_NEAR(v, expect, 1e-9);
+}
+
+// Workspace reuse across many decodes never leaks state between calls.
+TEST(Robustness, WorkspaceReuseIsStateless) {
+    const prs::MSequence seq(6);
+    const transform::Deconvolver d(seq);
+    auto ws = d.make_workspace();
+    Rng rng(91);
+    AlignedVector<double> x(seq.length()), y(seq.length()), out(seq.length());
+    for (int rep = 0; rep < 20; ++rep) {
+        for (auto& v : x) v = rng.uniform(0.0, 10.0);
+        d.encode(x, y, ws);
+        d.decode(y, out, ws);
+        for (std::size_t i = 0; i < x.size(); ++i) ASSERT_NEAR(out[i], x[i], 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace htims
