@@ -6,6 +6,7 @@
 // single-core host the sweep degenerates to oversubscription (speedup ~1);
 // the harness reports whatever the machine provides.
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "core/htims.hpp"
@@ -20,6 +21,15 @@ int main() {
     pipeline::Frame raw(layout);
     Rng rng(7);
     for (double& v : raw.data()) v = rng.uniform(0.0, 255.0);
+
+    auto& tel = telemetry::Registry::global();
+    tel.reset();
+    telemetry::RunMeta meta;
+    meta.bench = "bench_e4_scaling";
+    meta.labels.emplace_back("experiment", "E4");
+    meta.labels.emplace_back("paper_ref", "Figure 3");
+    meta.scalars.emplace_back("hardware_concurrency",
+                              std::thread::hardware_concurrency());
 
     std::cout << "hardware_concurrency = " << std::thread::hardware_concurrency()
               << "\n";
@@ -41,8 +51,39 @@ int main() {
         table.add_row({static_cast<std::int64_t>(threads), best * 1e3, speedup,
                        100.0 * speedup / static_cast<double>(threads),
                        static_cast<double>(layout.cells()) / best / 1e6});
+
+        const std::string tag = "threads" + std::to_string(threads);
+        meta.scalars.emplace_back(tag + ".decode_s", best);
+        meta.scalars.emplace_back(tag + ".speedup", speedup);
     }
     table.print(std::cout);
+
+    // Hybrid streaming run on the same frame so the run report carries ring
+    // occupancy plus producer-stall / consumer-idle latency distributions.
+    {
+        pipeline::HybridConfig hcfg;
+        hcfg.backend = pipeline::BackendKind::kCpu;
+        hcfg.frames = 2;
+        hcfg.averages = 2;
+        hcfg.ring_records = 128;
+        pipeline::HybridPipeline hybrid(seq, layout,
+                                        pipeline::to_period_samples(raw, 1), hcfg);
+        const auto report = hybrid.run();
+        const double rtf = report.realtime_factor(layout.sample_rate());
+        std::cout << "\nhybrid stream (CPU backend): "
+                  << format_double(report.sample_rate / 1e6, 2)
+                  << " Msamples/s, realtime_factor " << format_double(rtf, 2)
+                  << "\n";
+        meta.scalars.emplace_back("hybrid.sample_rate", report.sample_rate);
+        meta.scalars.emplace_back("hybrid.realtime_factor", rtf);
+    }
+
+    if (tel.enabled()) {
+        const auto snap = tel.snapshot();
+        telemetry::print_report(std::cout, snap);
+        telemetry::save_json_report("BENCH_E4.json", snap, meta);
+        std::cout << "telemetry run report written to BENCH_E4.json\n";
+    }
     std::cout << "\nShape check: near-linear scaling when physical cores are\n"
                  "available (per-channel decomposition is embarrassingly\n"
                  "parallel); flat on a single-core host.\n";

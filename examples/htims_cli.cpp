@@ -31,6 +31,8 @@ void usage() {
         "  --seed S              acquisition RNG seed\n"
         "  --save PATH           write the deconvolved frame (binary)\n"
         "  --csv                 print the feature table as CSV\n"
+        "  --telemetry           print the telemetry report after the run\n"
+        "  --telemetry-json PATH write the telemetry run report as JSON\n"
         "  --help                this text\n";
 }
 
@@ -41,7 +43,9 @@ int main(int argc, char** argv) {
     std::string sample = "mix";
     std::size_t digest_count = 100;
     std::string save_path;
+    std::string telemetry_json_path;
     bool csv = false;
+    bool telemetry = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -82,6 +86,10 @@ int main(int argc, char** argv) {
             save_path = next();
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--telemetry") {
+            telemetry = true;
+        } else if (arg == "--telemetry-json") {
+            telemetry_json_path = next();
         } else {
             std::cerr << "unknown option " << arg << "\n";
             usage();
@@ -137,6 +145,29 @@ int main(int argc, char** argv) {
         if (!save_path.empty()) {
             pipeline::save_frame(save_path, run.deconvolved);
             std::cout << "frame written to " << save_path << "\n";
+        }
+
+        if (telemetry || !telemetry_json_path.empty()) {
+            auto& tel = simulator.telemetry();
+            if (!tel.enabled()) {
+                std::cout << "telemetry disabled (HTIMS_TELEMETRY=0 or "
+                             "compiled out)\n";
+            } else {
+                const auto snap = tel.snapshot();
+                if (telemetry) telemetry::print_report(std::cout, snap);
+                if (!telemetry_json_path.empty()) {
+                    telemetry::RunMeta meta;
+                    meta.bench = "htims_cli";
+                    meta.labels.emplace_back("sample", mixture.name);
+                    meta.scalars.emplace_back("decode_seconds",
+                                              run.decode_seconds);
+                    meta.scalars.emplace_back(
+                        "duty_cycle", run.acquisition.duty_cycle);
+                    telemetry::save_json_report(telemetry_json_path, snap, meta);
+                    std::cout << "telemetry report written to "
+                              << telemetry_json_path << "\n";
+                }
+            }
         }
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# check.sh — the repo's verification gate.
+#
+# 1. Tier-1: configure + build + full ctest in build-check/.
+# 2. Sanitizers: rebuild the library and tests with AddressSanitizer and
+#    UndefinedBehaviorSanitizer (-DHTIMS_SANITIZE=ON) in build-asan/ and run
+#    the test suite again under them.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+sanitize=1
+[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+
+echo "== tier-1: build + ctest =="
+cmake -B build-check -S . > /dev/null
+cmake --build build-check -j "$jobs"
+ctest --test-dir build-check --output-on-failure -j "$jobs"
+
+if [[ "$sanitize" == 1 ]]; then
+    echo "== sanitizers: ASan + UBSan build + ctest =="
+    cmake -B build-asan -S . -DHTIMS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        > /dev/null
+    cmake --build build-asan -j "$jobs"
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+echo "== check.sh: all green =="

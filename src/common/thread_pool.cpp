@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace htims {
 
@@ -24,11 +25,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     HTIMS_EXPECTS(task != nullptr);
+    auto& tel = telemetry::Registry::global();
+    static auto& c_tasks = tel.counter("threadpool.tasks");
+    static auto& g_depth = tel.gauge("threadpool.queue_depth");
+    std::size_t depth;
     {
         std::lock_guard lock(mutex_);
         tasks_.push(std::move(task));
         ++in_flight_;
+        depth = tasks_.size();
     }
+    c_tasks.increment();
+    g_depth.set(static_cast<std::int64_t>(depth));
     cv_task_.notify_one();
 }
 
@@ -54,6 +62,8 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+    auto& tel = telemetry::Registry::global();
+    static auto& h_task = tel.histogram("threadpool.task_ns");
     for (;;) {
         std::function<void()> task;
         {
@@ -63,7 +73,13 @@ void ThreadPool::worker_loop() {
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        if (telemetry::kCompiledIn && tel.enabled()) {
+            const std::uint64_t t0 = telemetry::now_ns();
+            task();
+            h_task.observe(telemetry::now_ns() - t0);
+        } else {
+            task();
+        }
         {
             std::lock_guard lock(mutex_);
             --in_flight_;

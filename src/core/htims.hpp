@@ -11,6 +11,8 @@
 //   transform/  — FWHT, simplex deconvolution, weighted & enhanced decoders
 //   instrument/ — drift cell, TOF, ESI source, funnel trap, detector,
 //                 synthetic peptide libraries
+//   telemetry/  — counters, histograms, span tracing, registry, JSON/CSV
+//                 run reports
 //   pipeline/   — frames, acquisition engine, FPGA model, CPU backend,
 //                 SPSC streaming, hybrid orchestrator
 //   core/       — Simulator facade, peaks, metrics, experiment scaffolding
@@ -49,6 +51,7 @@
 #include "prs/oversampled.hpp"
 #include "prs/polynomials.hpp"
 #include "prs/sequence.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transform/circulant.hpp"
 #include "transform/deconvolver.hpp"
 #include "transform/enhanced.hpp"

@@ -12,6 +12,10 @@ Simulator::Simulator(const SimulatorConfig& config, instrument::SampleMixture sa
       cpu_(engine_.sequence(), engine_.layout(), config.cpu_threads) {}
 
 RunResult Simulator::run(double start_time_s) {
+    auto& tel = telemetry::Registry::global();
+    static const auto kStageRun = tel.intern("simulator.run");
+    auto span = tel.span(kStageRun);
+
     RunResult result{.acquisition = engine_.acquire(start_time_s),
                      .deconvolved = pipeline::Frame(engine_.layout()),
                      .decode_seconds = 0.0,

@@ -18,6 +18,7 @@
 #include "pipeline/cpu_backend.hpp"
 #include "pipeline/fpga.hpp"
 #include "pipeline/hybrid.hpp"
+#include "telemetry/registry.hpp"
 
 namespace htims::core {
 
@@ -56,6 +57,11 @@ public:
     const SimulatorConfig& config() const { return config_; }
     const pipeline::AcquisitionEngine& engine() const { return engine_; }
     const pipeline::FrameLayout& layout() const { return engine_.layout(); }
+
+    /// The process-wide telemetry registry the pipeline layers record into
+    /// during run(). Snapshot it for run reports, or set_enabled(false) to
+    /// switch instrumentation off at runtime.
+    telemetry::Registry& telemetry() const { return telemetry::Registry::global(); }
 
     /// Acquire one frame at experiment time t and deconvolve it. In
     /// signal-averaging mode the raw frame already is the drift-domain

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transform/enhanced.hpp"
 
 namespace htims::pipeline {
@@ -112,6 +113,10 @@ void AcquisitionEngine::deposit_species(const instrument::IonSpecies& ion,
 }
 
 AcquisitionResult AcquisitionEngine::acquire(double start_time_s) {
+    auto& tel = telemetry::Registry::global();
+    static const auto kStageAcquire = tel.intern("acquisition.acquire");
+    auto tel_span = tel.span(kStageAcquire);
+
     const std::size_t t = layout_.drift_bins;
     const double bin_w = layout_.drift_bin_width_s;
     const double period = layout_.period_s();
@@ -303,6 +308,19 @@ AcquisitionResult AcquisitionEngine::acquire(double start_time_s) {
     // ---- Detection: Poisson + multiplier + noise + ADC over `averages` ----
     detector_.acquire_accumulated(expected.data(), config_.averages,
                                   result.raw.data(), rng_);
+
+    static auto& c_frames = tel.counter("acquisition.frames");
+    static auto& c_pulses = tel.counter("acquisition.gate_pulses");
+    static auto& c_sat = tel.counter("acquisition.trap_saturations");
+    static auto& h_packet = tel.histogram("acquisition.packet_charges");
+    c_frames.increment();
+    c_pulses.add(static_cast<std::int64_t>(pulse_bins_.size()) *
+                 static_cast<std::int64_t>(config_.averages));
+    if (result.trap_saturated) c_sat.increment();
+    h_packet.observe(result.mean_packet_charges > 0.0
+                         ? static_cast<std::uint64_t>(
+                               std::llround(result.mean_packet_charges))
+                         : 0);
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace htims::pipeline {
 
@@ -14,6 +15,13 @@ CpuBackend::CpuBackend(const prs::OversampledPrs& sequence, const FrameLayout& l
 
 Frame CpuBackend::deconvolve(const Frame& raw) {
     HTIMS_EXPECTS(raw.layout() == layout_);
+    auto& tel = telemetry::Registry::global();
+    static const auto kStageDecode = tel.intern("cpu.deconvolve");
+    static auto& c_frames = tel.counter("cpu.frames");
+    static auto& c_channels = tel.counter("cpu.channels");
+    static auto& h_decode = tel.histogram("cpu.decode_ns");
+    auto span = tel.span(kStageDecode);
+
     Frame out(layout_);
     WallTimer timer;
     pool_.parallel_for(layout_.mz_bins, [&](std::size_t lo, std::size_t hi) {
@@ -27,6 +35,9 @@ Frame CpuBackend::deconvolve(const Frame& raw) {
         }
     });
     last_seconds_ = timer.seconds();
+    c_frames.increment();
+    c_channels.add(static_cast<std::int64_t>(layout_.mz_bins));
+    h_decode.observe(static_cast<std::uint64_t>(last_seconds_ * 1e9));
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transform/fwht.hpp"
 
 namespace htims::pipeline {
@@ -40,6 +41,7 @@ FpgaPipeline::FpgaPipeline(const prs::OversampledPrs& sequence, const FrameLayou
 void FpgaPipeline::begin_frame() {
     for (auto& b : bins_) b.reset();
     stream_pos_ = 0;
+    frame_samples_ = 0;
     const std::size_t bram = report_.bram_bytes_used;
     const bool fits = report_.fits_bram;
     report_ = FpgaCycleReport{};
@@ -53,6 +55,7 @@ void FpgaPipeline::push_samples(std::span<const std::uint32_t> samples) {
         bins_[stream_pos_].add(static_cast<std::int64_t>(s));
         if (++stream_pos_ == cells) stream_pos_ = 0;  // next period, same map
     }
+    frame_samples_ += samples.size();
     report_.capture_cycles += (samples.size() +
                                static_cast<std::size_t>(config_.samples_per_cycle) - 1) /
                               static_cast<std::size_t>(config_.samples_per_cycle);
@@ -150,6 +153,10 @@ void FpgaPipeline::decode_channel_stretched(std::size_t mz, Frame& out) {
 }
 
 Frame FpgaPipeline::end_frame() {
+    auto& tel = telemetry::Registry::global();
+    static const auto kStageFrame = tel.intern("fpga.end_frame");
+    auto span = tel.span(kStageFrame);
+
     Frame out(layout_);
     const std::size_t n = base_.length();
     const auto f = static_cast<std::size_t>(sequence_.factor());
@@ -177,6 +184,29 @@ Frame FpgaPipeline::end_frame() {
     if (stretched) per_channel += 3 * f * n;
     report_.deconv_cycles = per_channel * layout_.mz_bins /
                             static_cast<std::uint64_t>(config_.deconv_engines);
+
+    // Real-time cycle budget: the streamed periods occupy wall time
+    // periods * period_s on the instrument; the fabric clock affords that
+    // many cycles to capture and decode the frame.
+    const double periods = layout_.cells() > 0
+                               ? static_cast<double>(frame_samples_) /
+                                     static_cast<double>(layout_.cells())
+                               : 0.0;
+    report_.cycle_budget = static_cast<std::uint64_t>(
+        periods * layout_.period_s() * config_.clock_hz);
+
+    static auto& c_frames = tel.counter("fpga.frames");
+    static auto& c_capture = tel.counter("fpga.capture_cycles");
+    static auto& c_deconv = tel.counter("fpga.deconv_cycles");
+    static auto& c_budget = tel.counter("fpga.cycle_budget");
+    static auto& c_sat = tel.counter("fpga.accumulator_saturations");
+    static auto& g_bram = tel.gauge("fpga.bram_bytes_used");
+    c_frames.increment();
+    c_capture.add(static_cast<std::int64_t>(report_.capture_cycles));
+    c_deconv.add(static_cast<std::int64_t>(report_.deconv_cycles));
+    c_budget.add(static_cast<std::int64_t>(report_.cycle_budget));
+    c_sat.add(static_cast<std::int64_t>(report_.accumulator_saturations));
+    g_bram.set(static_cast<std::int64_t>(report_.bram_bytes_used));
     return out;
 }
 

@@ -49,6 +49,8 @@ struct FpgaConfig {
 struct FpgaCycleReport {
     std::uint64_t capture_cycles = 0;
     std::uint64_t deconv_cycles = 0;
+    std::uint64_t cycle_budget = 0;  ///< cycles the frame's real-time window
+                                     ///< affords at the configured clock
     std::uint64_t accumulator_saturations = 0;
     std::size_t bram_bytes_used = 0;
     bool fits_bram = true;
@@ -56,6 +58,13 @@ struct FpgaCycleReport {
     std::uint64_t total_cycles() const { return capture_cycles + deconv_cycles; }
     double seconds(double clock_hz) const {
         return clock_hz > 0.0 ? static_cast<double>(total_cycles()) / clock_hz : 0.0;
+    }
+    /// Budget / spent; > 1 means the frame fits its real-time window.
+    double headroom() const {
+        return total_cycles() > 0
+                   ? static_cast<double>(cycle_budget) /
+                         static_cast<double>(total_cycles())
+                   : 0.0;
     }
 };
 
@@ -104,6 +113,7 @@ private:
 
     std::vector<SaturatingAccumulator> bins_;
     std::size_t stream_pos_ = 0;
+    std::uint64_t frame_samples_ = 0;  ///< samples streamed into this frame
     FpgaCycleReport report_;
 
     // Integer scratch.

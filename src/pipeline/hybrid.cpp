@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace htims::pipeline {
 
@@ -49,6 +50,21 @@ HybridReport HybridPipeline::run() {
     const std::uint64_t records_total = static_cast<std::uint64_t>(config_.frames) *
                                         config_.averages * records_per_period;
 
+    auto& tel = telemetry::Registry::global();
+    static auto& c_records = tel.counter("hybrid.records");
+    static auto& c_frames = tel.counter("hybrid.frames");
+    static auto& c_stalls = tel.counter("hybrid.producer_stalls");
+    static auto& c_idles = tel.counter("hybrid.consumer_idles");
+    static auto& g_ring = tel.gauge("hybrid.ring_occupancy");
+    static auto& h_ring = tel.histogram("hybrid.ring_occupancy");
+    static auto& h_stall = tel.histogram("hybrid.producer_stall_ns");
+    static auto& h_idle = tel.histogram("hybrid.consumer_idle_ns");
+    static auto& h_frame = tel.histogram("hybrid.frame_ns");
+    static const auto kStageRun = tel.intern("hybrid.run");
+    static const auto kStageFrame = tel.intern("hybrid.frame");
+    const bool tel_on = telemetry::kCompiledIn && tel.enabled();
+    auto run_span = tel.span(kStageRun);
+
     SpscRing<Block> ring(config_.ring_records);
     HybridReport report;
     report.last_frame = Frame(layout_);
@@ -70,7 +86,12 @@ HybridReport HybridPipeline::run() {
                 } while (!ring.try_push(Block{period_samples_.data() +
                                                   record_in_period * record_len,
                                               record_len}));
-                producer_stall += stall.seconds();
+                const double stalled = stall.seconds();
+                producer_stall += stalled;
+                if (tel_on) {
+                    c_stalls.increment();
+                    h_stall.observe(static_cast<std::uint64_t>(stalled * 1e9));
+                }
                 ++sent;
             }
         }
@@ -79,6 +100,21 @@ HybridReport HybridPipeline::run() {
     WallTimer wall;
     const std::uint64_t records_per_frame =
         static_cast<std::uint64_t>(config_.averages) * records_per_period;
+
+    // The consumer samples ring occupancy as it pops (the reading the
+    // paper's backpressure argument cares about) and closes a stage span
+    // per completed frame.
+    std::uint64_t frame_start_ns = tel_on ? telemetry::now_ns() : 0;
+    const auto frame_done = [&] {
+        ++report.frames;
+        if (!tel_on) return;
+        c_frames.increment();
+        const std::uint64_t now = telemetry::now_ns();
+        h_frame.observe(now - frame_start_ns);
+        tel.trace().record(telemetry::SpanEvent{
+            kStageFrame, telemetry::thread_slot(), 1, frame_start_ns, now});
+        frame_start_ns = now;
+    };
 
     if (config_.backend == BackendKind::kFpga) {
         FpgaPipeline fpga(sequence_, layout_, config_.fpga);
@@ -89,14 +125,25 @@ HybridReport HybridPipeline::run() {
             if (!block) {
                 WallTimer idle;
                 while (!(block = ring.try_pop())) std::this_thread::yield();
-                report.consumer_idle_seconds += idle.seconds();
+                const double idled = idle.seconds();
+                report.consumer_idle_seconds += idled;
+                if (tel_on) {
+                    c_idles.increment();
+                    h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
+                }
+            }
+            if (tel_on) {
+                const auto depth = static_cast<std::int64_t>(ring.size());
+                g_ring.set(depth);
+                h_ring.observe(static_cast<std::uint64_t>(depth));
+                c_records.increment();
             }
             fpga.push_samples(std::span(block->data, block->size));
             ++received;
             if (received % records_per_frame == 0) {
                 report.last_frame = fpga.end_frame();
                 report.fpga = fpga.report();
-                ++report.frames;
+                frame_done();
                 if (received < records_total) fpga.begin_frame();
             }
         }
@@ -109,7 +156,18 @@ HybridReport HybridPipeline::run() {
             if (!block) {
                 WallTimer idle;
                 while (!(block = ring.try_pop())) std::this_thread::yield();
-                report.consumer_idle_seconds += idle.seconds();
+                const double idled = idle.seconds();
+                report.consumer_idle_seconds += idled;
+                if (tel_on) {
+                    c_idles.increment();
+                    h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
+                }
+            }
+            if (tel_on) {
+                const auto depth = static_cast<std::int64_t>(ring.size());
+                g_ring.set(depth);
+                h_ring.observe(static_cast<std::uint64_t>(depth));
+                c_records.increment();
             }
             const std::size_t record_in_period =
                 static_cast<std::size_t>(received % records_per_period);
@@ -120,7 +178,7 @@ HybridReport HybridPipeline::run() {
             if (received % records_per_frame == 0) {
                 report.last_frame = cpu.deconvolve(accum);
                 accum.fill(0.0);
-                ++report.frames;
+                frame_done();
             }
         }
     }
@@ -133,6 +191,7 @@ HybridReport HybridPipeline::run() {
         report.wall_seconds > 0.0
             ? static_cast<double>(report.samples) / report.wall_seconds
             : 0.0;
+    if (tel_on) report.telemetry = tel.snapshot();
     return report;
 }
 

@@ -17,6 +17,7 @@
 #include "pipeline/fpga.hpp"
 #include "pipeline/frame.hpp"
 #include "pipeline/spsc_ring.hpp"
+#include "telemetry/registry.hpp"
 
 namespace htims::pipeline {
 
@@ -43,9 +44,15 @@ struct HybridReport {
     double sample_rate = 0.0;             ///< achieved samples/second
     FpgaCycleReport fpga{};               ///< last frame (FPGA backend only)
     Frame last_frame;                     ///< last deconvolved frame
+    telemetry::Snapshot telemetry;        ///< registry snapshot at run end
+                                          ///< (empty when telemetry is off)
 
     /// Ratio of achieved throughput to the instrument's native rate; >= 1
-    /// means the pipeline keeps up in real time.
+    /// means the pipeline keeps up in real time. A non-positive
+    /// `instrument_sample_rate` is a configuration without a meaningful
+    /// native rate: the sentinel 0.0 is returned ("no real-time claim"),
+    /// deliberately reading as *not* keeping up rather than dividing by
+    /// zero or signalling success.
     double realtime_factor(double instrument_sample_rate) const {
         return instrument_sample_rate > 0.0 ? sample_rate / instrument_sample_rate : 0.0;
     }

@@ -1,0 +1,102 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace htims::telemetry {
+
+namespace {
+
+constexpr std::uint64_t kSub = std::uint64_t{1} << LogHistogram::kSubBits;
+constexpr std::uint64_t kClamp =
+    (std::uint64_t{1} << LogHistogram::kMaxExponent) - 1;
+
+}  // namespace
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) noexcept {
+    value = std::min(value, kClamp);
+    if (value < kSub) return static_cast<std::size_t>(value);
+    // value in [2^k, 2^(k+1)) with k >= kSubBits: block (k - kSubBits + 1)
+    // holds sub-buckets of width 2^(k - kSubBits).
+    const unsigned k = static_cast<unsigned>(std::bit_width(value)) - 1;
+    const std::uint64_t offset = (value >> (k - kSubBits)) - kSub;
+    const std::size_t block = k - kSubBits + 1;
+    return block * static_cast<std::size_t>(kSub) +
+           static_cast<std::size_t>(offset);
+}
+
+std::uint64_t LogHistogram::bucket_lo(std::size_t index) noexcept {
+    const std::size_t block = index >> kSubBits;
+    if (block == 0) return index;
+    const std::uint64_t within = index & (kSub - 1);
+    return (kSub + within) << (block - 1);
+}
+
+std::uint64_t LogHistogram::bucket_hi(std::size_t index) noexcept {
+    const std::size_t block = index >> kSubBits;
+    if (block == 0) return index + 1;
+    return bucket_lo(index) + (std::uint64_t{1} << (block - 1));
+}
+
+void LogHistogram::observe(std::uint64_t value) noexcept {
+    if constexpr (!kCompiledIn) return;
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t lo = min_.load(std::memory_order_relaxed);
+    while (value < lo &&
+           !min_.compare_exchange_weak(lo, value, std::memory_order_relaxed)) {
+    }
+    std::uint64_t hi = max_.load(std::memory_order_relaxed);
+    while (value > hi &&
+           !max_.compare_exchange_weak(hi, value, std::memory_order_relaxed)) {
+    }
+}
+
+double LogHistogram::quantile(double q) const {
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample (1-based), nearest-rank with interpolation
+    // inside the bucket that crosses it.
+    const double rank = q * static_cast<double>(n - 1) + 1.0;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t c = buckets_[b].load(std::memory_order_relaxed);
+        if (c == 0) continue;
+        if (static_cast<double>(cum + c) >= rank) {
+            const double into =
+                (rank - static_cast<double>(cum)) / static_cast<double>(c);
+            const double lo = static_cast<double>(bucket_lo(b));
+            const double hi = static_cast<double>(bucket_hi(b));
+            return lo + into * (hi - lo);
+        }
+        cum += c;
+    }
+    return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+HistogramSummary LogHistogram::summarize() const {
+    HistogramSummary s;
+    s.count = count_.load(std::memory_order_relaxed);
+    if (s.count == 0) return s;
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+             static_cast<double>(s.count);
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
+    return s;
+}
+
+void LogHistogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace htims::telemetry

@@ -1,0 +1,78 @@
+// histogram.hpp — fixed-bucket log-scale histogram with quantile extraction.
+//
+// HDR-style layout: values 0..7 get exact unit buckets; above that each
+// power-of-two octave is split into 8 sub-buckets, giving <= 12.5% relative
+// resolution over the whole 2^40 range (about 18 minutes when the unit is a
+// nanosecond). Buckets are plain relaxed atomics shared by all writers —
+// per-bucket contention is negligible for the event rates the pipeline
+// produces — so observe() is one branch, one bit-scan and one fetch_add.
+// Quantiles are computed from the bucket cumulative at snapshot time, with
+// linear interpolation inside the winning bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "telemetry/metric.hpp"
+
+namespace htims::telemetry {
+
+/// Quantile summary extracted from a histogram snapshot.
+struct HistogramSummary {
+    std::uint64_t count = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/// Concurrent log-scale histogram of non-negative 64-bit values.
+class LogHistogram {
+public:
+    /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+    static constexpr unsigned kSubBits = 3;
+    /// Largest representable value exponent; larger samples clamp into the
+    /// final bucket.
+    static constexpr unsigned kMaxExponent = 40;
+    static constexpr std::size_t kBuckets =
+        (std::size_t{1} << kSubBits) * (kMaxExponent - kSubBits + 1);
+
+    explicit LogHistogram(const std::atomic<bool>* enabled) noexcept
+        : enabled_(enabled) {}
+
+    LogHistogram(const LogHistogram&) = delete;
+    LogHistogram& operator=(const LogHistogram&) = delete;
+
+    void observe(std::uint64_t value) noexcept;
+
+    /// Bucket index of a value (exposed for tests).
+    static std::size_t bucket_index(std::uint64_t value) noexcept;
+    /// Inclusive lower / exclusive upper value bound of a bucket.
+    static std::uint64_t bucket_lo(std::size_t index) noexcept;
+    static std::uint64_t bucket_hi(std::size_t index) noexcept;
+
+    /// Aggregate the buckets into count/min/max/mean and p50/p95/p99.
+    HistogramSummary summarize() const;
+
+    /// Quantile q in [0,1] from the current buckets (0 when empty).
+    double quantile(double q) const;
+
+    std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_{0};
+    const std::atomic<bool>* enabled_;
+};
+
+}  // namespace htims::telemetry

@@ -1,0 +1,322 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace htims::telemetry {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+    throw Error(std::string("json: value is not a ") + want);
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xFFu);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_number(std::ostream& os, double d) {
+    if (!std::isfinite(d)) {
+        os << "null";  // JSON has no inf/nan; reports never produce them
+        return;
+    }
+    // Integers (the common case: counters, cycle counts, nanoseconds) print
+    // without an exponent or trailing ".0"; everything else round-trips via
+    // shortest-form scientific notation.
+    if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+        os << static_cast<long long>(d);
+        return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, d);
+    os.write(buf, res.ptr - buf);
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue run() {
+        JsonValue v = value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw Error("json parse error at byte " + std::to_string(pos_) + ": " +
+                    what);
+    }
+
+    char peek() const {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char next() {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void expect(char c) {
+        if (next() != c) fail(std::string("expected '") + c + "'");
+    }
+
+    void expect_word(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+        pos_ += word.size();
+    }
+
+    JsonValue value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return JsonValue(string());
+            case 't': expect_word("true"); return JsonValue(true);
+            case 'f': expect_word("false"); return JsonValue(false);
+            case 'n': expect_word("null"); return JsonValue(nullptr);
+            default: return number();
+        }
+    }
+
+    JsonValue object() {
+        expect('{');
+        JsonValue::Object fields;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue(std::move(fields));
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            fields.emplace_back(std::move(key), value());
+            skip_ws();
+            const char c = next();
+            if (c == '}') return JsonValue(std::move(fields));
+            if (c != ',') fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue array() {
+        expect('[');
+        JsonValue::Array items;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue(std::move(items));
+        }
+        for (;;) {
+            items.push_back(value());
+            skip_ws();
+            const char c = next();
+            if (c == ']') return JsonValue(std::move(items));
+            if (c != ',') fail("expected ',' or ']'");
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = next();
+            if (c == '"') return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            const char esc = next();
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = next();
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // Encode the code point as UTF-8 (BMP only; surrogate
+                    // pairs are not produced by our writer).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                }
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        double d = 0.0;
+        const auto res = std::from_chars(text_.data() + start,
+                                         text_.data() + pos_, d);
+        if (res.ec != std::errc{} || res.ptr != text_.data() + pos_)
+            fail("bad number");
+        return JsonValue(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+    if (!is_bool()) type_error("bool");
+    return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+    if (!is_number()) type_error("number");
+    return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+    if (!is_string()) type_error("string");
+    return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+    if (!is_array()) type_error("array");
+    return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+    if (!is_object()) type_error("object");
+    return std::get<Object>(value_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : std::get<Object>(value_))
+        if (k == key) return &v;
+    return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr) throw Error("json: missing field '" + std::string(key) + "'");
+    return *v;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+    if (!is_object()) type_error("object");
+    std::get<Object>(value_).emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::write_impl(std::ostream& os, int indent, int depth) const {
+    const auto pad = [&](int d) {
+        if (indent <= 0) return;
+        os << '\n';
+        for (int i = 0; i < indent * d; ++i) os << ' ';
+    };
+    if (is_null()) {
+        os << "null";
+    } else if (is_bool()) {
+        os << (std::get<bool>(value_) ? "true" : "false");
+    } else if (is_number()) {
+        write_number(os, std::get<double>(value_));
+    } else if (is_string()) {
+        write_escaped(os, std::get<std::string>(value_));
+    } else if (is_array()) {
+        const auto& a = std::get<Array>(value_);
+        os << '[';
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (i != 0) os << ',';
+            pad(depth + 1);
+            a[i].write_impl(os, indent, depth + 1);
+        }
+        if (!a.empty()) pad(depth);
+        os << ']';
+    } else {
+        const auto& o = std::get<Object>(value_);
+        os << '{';
+        for (std::size_t i = 0; i < o.size(); ++i) {
+            if (i != 0) os << ',';
+            pad(depth + 1);
+            write_escaped(os, o[i].first);
+            os << (indent > 0 ? ": " : ":");
+            o[i].second.write_impl(os, indent, depth + 1);
+        }
+        if (!o.empty()) pad(depth);
+        os << '}';
+    }
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+    write_impl(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+JsonValue parse_json(std::string_view text) {
+    return Parser(text).run();
+}
+
+}  // namespace htims::telemetry

@@ -1,0 +1,77 @@
+// json.hpp — minimal JSON document model for run reports.
+//
+// The telemetry exporters need a writer with stable field ordering and the
+// tests (and any external tooling reading BENCH_*.json trajectories) need a
+// parser to validate the schema round-trip. This is a deliberately small
+// strict-subset implementation: UTF-8 pass-through strings with the
+// standard escapes, doubles for all numbers (counters stay exact through
+// 2^53), objects preserving insertion order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace htims::telemetry {
+
+/// One JSON value: null, bool, number, string, array, or object. Objects
+/// keep fields in insertion order so emitted reports are diff-stable.
+class JsonValue {
+public:
+    using Array = std::vector<JsonValue>;
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() : value_(nullptr) {}
+    JsonValue(std::nullptr_t) : value_(nullptr) {}
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+    JsonValue(std::uint64_t u) : value_(static_cast<double>(u)) {}
+    JsonValue(int i) : value_(static_cast<double>(i)) {}
+    JsonValue(const char* s) : value_(std::string(s)) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+    JsonValue(Array a) : value_(std::move(a)) {}
+    JsonValue(Object o) : value_(std::move(o)) {}
+
+    bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    bool is_bool() const { return std::holds_alternative<bool>(value_); }
+    bool is_number() const { return std::holds_alternative<double>(value_); }
+    bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    bool is_array() const { return std::holds_alternative<Array>(value_); }
+    bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+    /// Typed accessors; throw htims::Error on a type mismatch.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Object field lookup; throws htims::Error when absent.
+    const JsonValue& at(std::string_view key) const;
+    /// Object field lookup; nullptr when absent.
+    const JsonValue* find(std::string_view key) const;
+
+    /// Append a field to an object (value must be an object).
+    void set(std::string key, JsonValue value);
+
+    /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+    void write(std::ostream& os, int indent = 0) const;
+    std::string dump(int indent = 0) const;
+
+private:
+    void write_impl(std::ostream& os, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parse a complete JSON document; throws htims::Error with the byte offset
+/// on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace htims::telemetry

@@ -1,0 +1,110 @@
+// metric.hpp — lock-free counters and gauges for the telemetry subsystem.
+//
+// Hot-path discipline: a Counter is a small array of cache-line-separated
+// atomic cells, striped by a per-thread slot, so concurrent increments from
+// the producer, consumer and pool workers never contend on one line. Cells
+// are summed only at snapshot time. Every mutator first loads a shared
+// runtime-enable flag (one relaxed load + predictable branch), and the whole
+// body compiles away when HTIMS_TELEMETRY is defined to 0, so instrumented
+// code pays nothing when observability is off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/aligned_buffer.hpp"
+
+// Compile-time switch: -DHTIMS_TELEMETRY=0 removes every instrumentation
+// body (the types keep their API so call sites compile unchanged).
+#ifndef HTIMS_TELEMETRY
+#define HTIMS_TELEMETRY 1
+#endif
+
+namespace htims::telemetry {
+
+inline constexpr bool kCompiledIn = HTIMS_TELEMETRY != 0;
+
+/// Number of independent counter cells; threads hash onto stripes, so two
+/// threads may share one (the fetch_add keeps that correct, just slower).
+inline constexpr std::size_t kStripes = 16;
+
+/// Small dense id for the calling thread, assigned on first use. Used both
+/// for stripe selection and to tag trace spans.
+inline std::uint32_t thread_slot() noexcept {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+/// Monotonic event counter. add() is wait-free; value() is a snapshot sum
+/// (exact once writers are quiescent, approximate while they run).
+class Counter {
+public:
+    explicit Counter(const std::atomic<bool>* enabled) noexcept : enabled_(enabled) {}
+
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void add(std::int64_t n) noexcept {
+        if constexpr (!kCompiledIn) return;
+        if (!enabled_->load(std::memory_order_relaxed)) return;
+        cells_[thread_slot() % kStripes].v.fetch_add(n, std::memory_order_relaxed);
+    }
+    void increment() noexcept { add(1); }
+
+    std::int64_t value() const noexcept {
+        std::int64_t sum = 0;
+        for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void reset() noexcept {
+        for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(kCacheLine) Cell {
+        std::atomic<std::int64_t> v{0};
+    };
+    std::array<Cell, kStripes> cells_{};
+    const std::atomic<bool>* enabled_;
+};
+
+/// Last-value gauge that also tracks the maximum it ever held (ring
+/// occupancy, queue depth, BRAM bytes). set() is lock-free.
+class Gauge {
+public:
+    explicit Gauge(const std::atomic<bool>* enabled) noexcept : enabled_(enabled) {}
+
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(std::int64_t v) noexcept {
+        if constexpr (!kCompiledIn) return;
+        if (!enabled_->load(std::memory_order_relaxed)) return;
+        value_.store(v, std::memory_order_relaxed);
+        std::int64_t m = max_.load(std::memory_order_relaxed);
+        while (v > m &&
+               !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    std::int64_t max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+    void reset() noexcept {
+        value_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+    std::atomic<std::int64_t> max_{0};
+    const std::atomic<bool>* enabled_;
+};
+
+}  // namespace htims::telemetry

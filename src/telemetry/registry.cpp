@@ -1,0 +1,109 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace htims::telemetry {
+
+namespace {
+
+bool env_disables_telemetry() {
+    const char* v = std::getenv("HTIMS_TELEMETRY");
+    if (v == nullptr) return false;
+    return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0;
+}
+
+}  // namespace
+
+Registry::Registry(std::size_t trace_capacity) : trace_(trace_capacity) {}
+
+Registry& Registry::global() {
+    static Registry instance;
+    static const bool env_init = [] {
+        if (env_disables_telemetry()) instance.set_enabled(false);
+        return true;
+    }();
+    (void)env_init;
+    return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    for (auto& e : counters_)
+        if (e.name == name) return e.metric;
+    return counters_.emplace_back(std::string(name), &enabled_).metric;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    for (auto& e : gauges_)
+        if (e.name == name) return e.metric;
+    return gauges_.emplace_back(std::string(name), &enabled_).metric;
+}
+
+LogHistogram& Registry::histogram(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    for (auto& e : histograms_)
+        if (e.name == name) return e.metric;
+    return histograms_.emplace_back(std::string(name), &enabled_).metric;
+}
+
+std::uint32_t Registry::intern(std::string_view stage) {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < span_names_.size(); ++i)
+        if (span_names_[i] == stage) return static_cast<std::uint32_t>(i);
+    span_names_.emplace_back(stage);
+    return static_cast<std::uint32_t>(span_names_.size() - 1);
+}
+
+const std::string& Registry::span_name(std::uint32_t id) const {
+    std::lock_guard lock(mutex_);
+    HTIMS_EXPECTS(id < span_names_.size());
+    return span_names_[id];
+}
+
+Snapshot Registry::snapshot() const {
+    Snapshot snap;
+    std::vector<std::string> names;  // copy under lock, resolve spans after
+    std::vector<SpanEvent> events = trace_.events();
+    {
+        std::lock_guard lock(mutex_);
+        for (const auto& e : counters_)
+            snap.counters.push_back({e.name, e.metric.value()});
+        for (const auto& e : gauges_)
+            snap.gauges.push_back({e.name, e.metric.value(), e.metric.max()});
+        for (const auto& e : histograms_)
+            snap.histograms.push_back({e.name, e.metric.summarize()});
+        names = span_names_;
+    }
+    snap.spans_dropped = trace_.dropped();
+    snap.spans.reserve(events.size());
+    for (const auto& ev : events) {
+        SpanSample s;
+        s.stage = ev.name_id < names.size() ? names[ev.name_id] : "?";
+        s.thread = ev.thread;
+        s.depth = ev.depth;
+        s.start_ns = ev.start_ns;
+        s.end_ns = ev.end_ns;
+        snap.spans.push_back(std::move(s));
+    }
+    auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+    return snap;
+}
+
+void Registry::reset() {
+    std::lock_guard lock(mutex_);
+    for (auto& e : counters_) e.metric.reset();
+    for (auto& e : gauges_) e.metric.reset();
+    for (auto& e : histograms_) e.metric.reset();
+    trace_.clear();
+}
+
+}  // namespace htims::telemetry

@@ -1,0 +1,126 @@
+// registry.hpp — named metric registry and point-in-time snapshots.
+//
+// The registry owns every counter, gauge, histogram and the span trace
+// buffer, keyed by dotted names ("hybrid.ring_occupancy"). Creation and
+// lookup take a mutex, but instrumentation sites call them once and cache
+// the returned reference (the storage is a deque, so references stay valid
+// forever); the hot path never touches the lock. One process-global
+// registry backs the pipeline instrumentation, with a runtime enable switch
+// seeded from the HTIMS_TELEMETRY environment variable ("0"/"off" starts
+// disabled); tests may construct private registries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/metric.hpp"
+#include "telemetry/trace.hpp"
+
+namespace htims::telemetry {
+
+/// Aggregated value of one counter at snapshot time.
+struct CounterSample {
+    std::string name;
+    std::int64_t value = 0;
+};
+
+/// Last/max value of one gauge at snapshot time.
+struct GaugeSample {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+};
+
+/// Quantile summary of one histogram at snapshot time.
+struct HistogramSample {
+    std::string name;
+    HistogramSummary summary;
+};
+
+/// One completed span with its stage name resolved.
+struct SpanSample {
+    std::string stage;
+    std::uint32_t thread = 0;
+    std::uint32_t depth = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+};
+
+/// Point-in-time aggregation of the whole registry. Plain data — safe to
+/// copy into run reports and serialize.
+struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+    std::vector<SpanSample> spans;
+    std::uint64_t spans_dropped = 0;
+};
+
+/// The metric registry. Thread-safe; metric references are stable.
+class Registry {
+public:
+    explicit Registry(std::size_t trace_capacity = 8192);
+
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// The process-wide registry the pipeline instrumentation uses.
+    static Registry& global();
+
+    bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void set_enabled(bool on) noexcept {
+        enabled_.store(on && kCompiledIn, std::memory_order_relaxed);
+    }
+
+    /// Find-or-create by name. O(#metrics) under a mutex — call once per
+    /// site and cache the reference.
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    LogHistogram& histogram(std::string_view name);
+
+    /// Intern a stage name for span tracing; ids are dense and stable.
+    std::uint32_t intern(std::string_view stage);
+    const std::string& span_name(std::uint32_t id) const;
+
+    TraceBuffer& trace() noexcept { return trace_; }
+
+    /// Open a span for an interned stage (records nothing when disabled).
+    ScopedSpan span(std::uint32_t name_id) noexcept {
+        return ScopedSpan(&trace_, &enabled_, name_id);
+    }
+
+    /// Aggregate every metric and the trace into plain data, sorted by
+    /// name (spans in record order).
+    Snapshot snapshot() const;
+
+    /// Zero all metric values and clear the trace. Registered names and
+    /// cached references stay valid.
+    void reset();
+
+private:
+    template <typename M>
+    struct Entry {
+        std::string name;
+        M metric;
+        Entry(std::string n, const std::atomic<bool>* enabled)
+            : name(std::move(n)), metric(enabled) {}
+    };
+
+    std::atomic<bool> enabled_{kCompiledIn};
+    mutable std::mutex mutex_;
+    std::deque<Entry<Counter>> counters_;
+    std::deque<Entry<Gauge>> gauges_;
+    std::deque<Entry<LogHistogram>> histograms_;
+    std::vector<std::string> span_names_;
+    TraceBuffer trace_;
+};
+
+}  // namespace htims::telemetry

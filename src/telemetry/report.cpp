@@ -1,0 +1,163 @@
+#include "telemetry/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace htims::telemetry {
+
+Table counters_table(const Snapshot& snap) {
+    Table table("telemetry: counters and gauges");
+    table.set_header({"kind", "name", "value", "max"});
+    for (const auto& c : snap.counters)
+        table.add_row({std::string("counter"), c.name, c.value, std::string("-")});
+    for (const auto& g : snap.gauges)
+        table.add_row({std::string("gauge"), g.name, g.value, g.max});
+    return table;
+}
+
+Table histograms_table(const Snapshot& snap) {
+    Table table("telemetry: histograms");
+    table.set_header({"name", "count", "min", "mean", "p50", "p95", "p99", "max"});
+    table.set_precision(1);
+    for (const auto& h : snap.histograms) {
+        const auto& s = h.summary;
+        table.add_row({h.name, static_cast<std::int64_t>(s.count),
+                       static_cast<std::int64_t>(s.min), s.mean, s.p50, s.p95,
+                       s.p99, static_cast<std::int64_t>(s.max)});
+    }
+    return table;
+}
+
+void print_report(std::ostream& os, const Snapshot& snap) {
+    counters_table(snap).print(os);
+    os << '\n';
+    histograms_table(snap).print(os);
+    if (snap.spans_dropped > 0)
+        os << "(trace buffer full: " << snap.spans_dropped << " spans dropped)\n";
+}
+
+void write_csv(std::ostream& os, const Snapshot& snap) {
+    os << "kind,name,value,max,count,min,mean,p50,p95,p99\n";
+    for (const auto& c : snap.counters)
+        os << "counter," << c.name << ',' << c.value << ",,,,,,,\n";
+    for (const auto& g : snap.gauges)
+        os << "gauge," << g.name << ',' << g.value << ',' << g.max
+           << ",,,,,,\n";
+    for (const auto& h : snap.histograms) {
+        const auto& s = h.summary;
+        os << "histogram," << h.name << ",,," << s.count << ',' << s.min << ','
+           << s.mean << ',' << s.p50 << ',' << s.p95 << ',' << s.p99 << '\n';
+    }
+}
+
+JsonValue to_json(const Snapshot& snap, const RunMeta& meta) {
+    JsonValue doc{JsonValue::Object{}};
+    doc.set("schema", kSchemaV1);
+    doc.set("bench", meta.bench);
+
+    JsonValue labels{JsonValue::Object{}};
+    for (const auto& [k, v] : meta.labels) labels.set(k, v);
+    doc.set("labels", std::move(labels));
+
+    JsonValue scalars{JsonValue::Object{}};
+    for (const auto& [k, v] : meta.scalars) scalars.set(k, v);
+    doc.set("scalars", std::move(scalars));
+
+    JsonValue counters{JsonValue::Object{}};
+    for (const auto& c : snap.counters) counters.set(c.name, c.value);
+    doc.set("counters", std::move(counters));
+
+    JsonValue gauges{JsonValue::Object{}};
+    for (const auto& g : snap.gauges) {
+        JsonValue entry{JsonValue::Object{}};
+        entry.set("value", g.value);
+        entry.set("max", g.max);
+        gauges.set(g.name, std::move(entry));
+    }
+    doc.set("gauges", std::move(gauges));
+
+    JsonValue histograms{JsonValue::Object{}};
+    for (const auto& h : snap.histograms) {
+        const auto& s = h.summary;
+        JsonValue entry{JsonValue::Object{}};
+        entry.set("count", s.count);
+        entry.set("min", s.min);
+        entry.set("max", s.max);
+        entry.set("mean", s.mean);
+        entry.set("p50", s.p50);
+        entry.set("p95", s.p95);
+        entry.set("p99", s.p99);
+        histograms.set(h.name, std::move(entry));
+    }
+    doc.set("histograms", std::move(histograms));
+
+    JsonValue::Array span_items;
+    span_items.reserve(snap.spans.size());
+    for (const auto& sp : snap.spans) {
+        JsonValue entry{JsonValue::Object{}};
+        entry.set("stage", sp.stage);
+        entry.set("thread", static_cast<std::uint64_t>(sp.thread));
+        entry.set("depth", static_cast<std::uint64_t>(sp.depth));
+        entry.set("start_ns", sp.start_ns);
+        entry.set("end_ns", sp.end_ns);
+        span_items.push_back(std::move(entry));
+    }
+    doc.set("spans", JsonValue(std::move(span_items)));
+    doc.set("spans_dropped", snap.spans_dropped);
+    return doc;
+}
+
+void write_json_report(std::ostream& os, const Snapshot& snap,
+                       const RunMeta& meta) {
+    to_json(snap, meta).write(os, 2);
+    os << '\n';
+}
+
+void save_json_report(const std::string& path, const Snapshot& snap,
+                      const RunMeta& meta) {
+    std::ofstream os(path);
+    if (!os) throw Error("cannot open " + path + " for writing");
+    write_json_report(os, snap, meta);
+    if (!os) throw Error("write failed for " + path);
+}
+
+Snapshot snapshot_from_json(const JsonValue& doc) {
+    if (doc.at("schema").as_string() != kSchemaV1)
+        throw Error("telemetry report: unsupported schema '" +
+                    doc.at("schema").as_string() + "'");
+    Snapshot snap;
+    for (const auto& [name, v] : doc.at("counters").as_object())
+        snap.counters.push_back(
+            {name, static_cast<std::int64_t>(v.as_number())});
+    for (const auto& [name, v] : doc.at("gauges").as_object())
+        snap.gauges.push_back(
+            {name, static_cast<std::int64_t>(v.at("value").as_number()),
+             static_cast<std::int64_t>(v.at("max").as_number())});
+    for (const auto& [name, v] : doc.at("histograms").as_object()) {
+        HistogramSummary s;
+        s.count = static_cast<std::uint64_t>(v.at("count").as_number());
+        s.min = static_cast<std::uint64_t>(v.at("min").as_number());
+        s.max = static_cast<std::uint64_t>(v.at("max").as_number());
+        s.mean = v.at("mean").as_number();
+        s.p50 = v.at("p50").as_number();
+        s.p95 = v.at("p95").as_number();
+        s.p99 = v.at("p99").as_number();
+        snap.histograms.push_back({name, s});
+    }
+    for (const auto& sp : doc.at("spans").as_array()) {
+        SpanSample s;
+        s.stage = sp.at("stage").as_string();
+        s.thread = static_cast<std::uint32_t>(sp.at("thread").as_number());
+        s.depth = static_cast<std::uint32_t>(sp.at("depth").as_number());
+        s.start_ns = static_cast<std::uint64_t>(sp.at("start_ns").as_number());
+        s.end_ns = static_cast<std::uint64_t>(sp.at("end_ns").as_number());
+        snap.spans.push_back(std::move(s));
+    }
+    snap.spans_dropped =
+        static_cast<std::uint64_t>(doc.at("spans_dropped").as_number());
+    return snap;
+}
+
+}  // namespace htims::telemetry

@@ -1,0 +1,64 @@
+// report.hpp — snapshot exporters: ASCII tables, CSV, and the stable JSON
+// run-report schema the BENCH_*.json trajectory files use.
+//
+// Schema "htims.telemetry.v1":
+//   {
+//     "schema":   "htims.telemetry.v1",
+//     "bench":    "<run name>",
+//     "labels":   { "<key>": "<string>", ... },       // free-form context
+//     "scalars":  { "<key>": <number>, ... },         // headline results
+//     "counters": { "<name>": <integer>, ... },
+//     "gauges":   { "<name>": {"value": n, "max": n}, ... },
+//     "histograms": { "<name>": {"count","min","max","mean",
+//                                "p50","p95","p99"}, ... },
+//     "spans":    [ {"stage","thread","depth","start_ns","end_ns"}, ... ],
+//     "spans_dropped": <integer>
+//   }
+// Readers must ignore unknown fields; writers never remove or retype the
+// fields above (additions bump a v2 only if incompatible).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+
+namespace htims::telemetry {
+
+/// Run-level context attached to a JSON report: the run name plus headline
+/// scalar results and free-form labels from the emitting bench.
+struct RunMeta {
+    std::string bench;
+    std::vector<std::pair<std::string, double>> scalars;
+    std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// The schema identifier emitted and required by this version.
+inline constexpr const char* kSchemaV1 = "htims.telemetry.v1";
+
+/// Counters + gauges as one table, histograms as another.
+Table counters_table(const Snapshot& snap);
+Table histograms_table(const Snapshot& snap);
+
+/// Human-readable report (both tables) to a stream.
+void print_report(std::ostream& os, const Snapshot& snap);
+
+/// CSV: one row per metric, kind-tagged
+/// (kind,name,value,max,count,min,mean,p50,p95,p99).
+void write_csv(std::ostream& os, const Snapshot& snap);
+
+/// Build/serialize the v1 JSON document.
+JsonValue to_json(const Snapshot& snap, const RunMeta& meta);
+void write_json_report(std::ostream& os, const Snapshot& snap, const RunMeta& meta);
+void save_json_report(const std::string& path, const Snapshot& snap,
+                      const RunMeta& meta);
+
+/// Inverse of to_json: validates the schema tag and reconstructs the
+/// snapshot (spans included). Throws htims::Error on a schema violation.
+Snapshot snapshot_from_json(const JsonValue& doc);
+
+}  // namespace htims::telemetry

@@ -1,0 +1,27 @@
+// telemetry.hpp — umbrella header for the observability subsystem.
+//
+// Counters, gauges, log-scale latency histograms, scoped-span stage tracing,
+// a named registry with point-in-time snapshots, and exporters (ASCII table,
+// CSV, and the stable "htims.telemetry.v1" JSON run-report schema used by
+// the BENCH_*.json trajectory files).
+//
+// Switches:
+//   * compile time — build with -DHTIMS_TELEMETRY=0 (CMake option
+//     HTIMS_TELEMETRY=OFF) and every instrumentation body compiles away;
+//   * runtime — telemetry::Registry::global().set_enabled(false), or launch
+//     with HTIMS_TELEMETRY=0 in the environment. Disabled mutators cost one
+//     relaxed atomic load and a predictable branch.
+//
+// Instrumentation idiom (the references are cached, the lock is taken once):
+//   auto& tel = telemetry::Registry::global();
+//   static auto& frames = tel.counter("hybrid.frames");
+//   static const auto kStage = tel.intern("hybrid.frame");
+//   { auto span = tel.span(kStage); frames.increment(); ... }
+#pragma once
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metric.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"

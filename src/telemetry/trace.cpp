@@ -1,0 +1,15 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+
+namespace htims::telemetry {
+
+std::uint64_t now_ns() noexcept {
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point t0 = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+}
+
+}  // namespace htims::telemetry

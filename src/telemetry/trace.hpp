@@ -1,0 +1,112 @@
+// trace.hpp — lightweight scoped-span stage tracing.
+//
+// A span is one timed region of one pipeline stage: interned stage name,
+// start/stop nanoseconds on the process-local monotonic clock, the compact
+// thread slot of the recording thread, and its nesting depth (per-thread).
+// Spans land in a bounded pre-allocated buffer via a single fetch_add — the
+// first `capacity` spans of a run are retained and later arrivals are
+// counted as dropped, so a runaway stage can never grow memory or tear a
+// slot that a snapshot is reading.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+
+namespace htims::telemetry {
+
+/// Nanoseconds since the first telemetry clock query in this process
+/// (steady clock, so spans order correctly across threads).
+std::uint64_t now_ns() noexcept;
+
+/// One completed stage span.
+struct SpanEvent {
+    std::uint32_t name_id = 0;  ///< Registry::intern id of the stage name
+    std::uint32_t thread = 0;   ///< compact thread slot
+    std::uint32_t depth = 0;    ///< nesting level within the thread
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+};
+
+/// Bounded first-N span store; record() is wait-free.
+class TraceBuffer {
+public:
+    explicit TraceBuffer(std::size_t capacity = 8192) : slots_(capacity) {}
+
+    TraceBuffer(const TraceBuffer&) = delete;
+    TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+    std::size_t capacity() const noexcept { return slots_.size(); }
+
+    void record(const SpanEvent& ev) noexcept {
+        const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i < slots_.size())
+            slots_[i] = ev;
+        else
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Copy of the retained spans (call when writers are quiescent).
+    std::vector<SpanEvent> events() const {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(next_.load(std::memory_order_relaxed),
+                                    slots_.size());
+        return {slots_.begin(), slots_.begin() + static_cast<std::ptrdiff_t>(n)};
+    }
+
+    std::uint64_t dropped() const noexcept {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    void clear() noexcept {
+        next_.store(0, std::memory_order_relaxed);
+        dropped_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<SpanEvent> slots_;
+    std::atomic<std::uint64_t> next_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII span: stamps the start on construction and records the completed
+/// event on destruction. A span constructed while telemetry is disabled
+/// records nothing, even if telemetry is re-enabled before it closes.
+class ScopedSpan {
+public:
+    ScopedSpan(TraceBuffer* buffer, const std::atomic<bool>* enabled,
+               std::uint32_t name_id) noexcept {
+        if constexpr (!kCompiledIn) return;
+        if (!enabled->load(std::memory_order_relaxed)) return;
+        buffer_ = buffer;
+        name_id_ = name_id;
+        depth_ = static_cast<std::uint32_t>(thread_depth()++);
+        start_ns_ = now_ns();
+    }
+
+    ~ScopedSpan() {
+        if (buffer_ == nullptr) return;
+        --thread_depth();
+        buffer_->record(SpanEvent{name_id_, thread_slot(), depth_, start_ns_,
+                                  now_ns()});
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    static int& thread_depth() noexcept {
+        thread_local int depth = 0;
+        return depth;
+    }
+
+    TraceBuffer* buffer_ = nullptr;
+    std::uint32_t name_id_ = 0;
+    std::uint32_t depth_ = 0;
+    std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace htims::telemetry

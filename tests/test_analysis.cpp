@@ -331,6 +331,28 @@ TEST(FrameIO, DetectsBadMagicAndTruncation) {
     EXPECT_THROW(pipeline::read_frame(s2), Error);
 }
 
+TEST(FrameIO, CrcMismatchReportsCleanDecodeError) {
+    // Payload corruption must surface as the specific CRC diagnostic — a
+    // clean decode error, not a garbage frame or an unrelated failure.
+    pipeline::FrameLayout layout{.drift_bins = 8, .mz_bins = 8,
+                                 .drift_bin_width_s = 1e-4};
+    pipeline::Frame frame(layout);
+    Rng rng(5);
+    for (double& v : frame.data()) v = rng.uniform(0.0, 100.0);
+    std::stringstream ss;
+    pipeline::write_frame(ss, frame);
+    std::string buf = ss.str();
+    buf[64 + 11] ^= 0x40;  // flip one byte past the 64-byte header
+    std::stringstream corrupted(buf);
+    try {
+        (void)pipeline::read_frame(corrupted);
+        FAIL() << "corrupted payload decoded without error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(FrameIO, Crc32KnownVector) {
     // CRC-32 of "123456789" is the classic check value 0xCBF43926.
     const char data[] = "123456789";

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <thread>
 
@@ -134,6 +135,79 @@ TEST(SpscRing, ConcurrentStressPreservesOrderAndCount) {
     }
     producer.join();
     EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, IndicesWrapCleanlyAtMinimumCapacity) {
+    // Capacity 2 forces head/tail to wrap the index mask every other
+    // operation; FIFO order and full/empty detection must survive many laps.
+    SpscRing<int> ring(2);
+    ASSERT_EQ(ring.capacity(), 2u);
+    int next_in = 0, next_out = 0;
+    for (int lap = 0; lap < 1000; ++lap) {
+        while (ring.try_push(int{next_in})) ++next_in;
+        EXPECT_EQ(ring.size(), ring.capacity());  // full boundary
+        while (auto v = ring.try_pop()) {
+            EXPECT_EQ(*v, next_out);
+            ++next_out;
+        }
+        EXPECT_TRUE(ring.empty());  // empty boundary
+    }
+    EXPECT_EQ(next_in, next_out);
+    EXPECT_EQ(next_in, 2000);
+}
+
+TEST(SpscRing, ConcurrentWraparoundTinyRing) {
+    // The hardest case for the Lamport protocol: a capacity-2 ring keeps the
+    // producer and consumer permanently within one slot of both the full and
+    // the empty boundary while the indices wrap thousands of times.
+    SpscRing<std::uint64_t> ring(2);
+    constexpr std::uint64_t kCount = 100000;
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount;) {
+            if (ring.try_push(std::uint64_t{i}))
+                ++i;
+            else
+                std::this_thread::yield();
+        }
+    });
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+        auto v = ring.try_pop();
+        if (!v) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(*v, expected);
+        ++expected;
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, MoveOnlyPayloadSurvivesConcurrentTransfer) {
+    SpscRing<std::unique_ptr<int>> ring(4);
+    constexpr int kCount = 20000;
+    std::thread producer([&] {
+        for (int i = 0; i < kCount;) {
+            if (ring.try_push(std::make_unique<int>(i)))
+                ++i;
+            else
+                std::this_thread::yield();
+        }
+    });
+    int expected = 0;
+    while (expected < kCount) {
+        auto v = ring.try_pop();
+        if (!v) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_TRUE(*v != nullptr);
+        ASSERT_EQ(**v, expected);
+        ++expected;
+    }
+    producer.join();
 }
 
 // -------------------------------------------------------- Acquisition ----
@@ -492,6 +566,17 @@ TEST(Hybrid, TemplateSizeMismatchRejected) {
                        .drift_bin_width_s = 1e-4};
     std::vector<std::uint32_t> wrong(layout.cells() + 1, 0);
     EXPECT_THROW(HybridPipeline(seq, layout, wrong, HybridConfig{}), ConfigError);
+}
+
+TEST(Hybrid, RealtimeFactorSentinelForNonPositiveRate) {
+    // A non-positive instrument rate means "no meaningful native rate": the
+    // documented sentinel is 0.0 — reading as no real-time claim — never a
+    // division by zero, NaN, or infinity.
+    HybridReport report;
+    report.sample_rate = 1e6;
+    EXPECT_DOUBLE_EQ(report.realtime_factor(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(report.realtime_factor(-5.0), 0.0);
+    EXPECT_DOUBLE_EQ(report.realtime_factor(2e6), 0.5);
 }
 
 TEST(Hybrid, ToPeriodSamplesDividesByAverages) {

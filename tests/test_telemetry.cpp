@@ -1,0 +1,415 @@
+// Tests for src/telemetry: striped counters under concurrency, gauge
+// last/max tracking, log-histogram bucket math and quantiles, scoped-span
+// tracing with nesting and bounded retention, the runtime disable switch,
+// the JSON document model, and the v1 run-report schema round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace htims::telemetry {
+namespace {
+
+// Tests asserting recorded values only make sense when the instrumentation
+// bodies are compiled in; under -DHTIMS_TELEMETRY=OFF they skip.
+#define HTIMS_SKIP_IF_COMPILED_OUT()                          \
+    do {                                                      \
+        if (!kCompiledIn) GTEST_SKIP() << "HTIMS_TELEMETRY=0"; \
+    } while (0)
+
+// ------------------------------------------------------------- Counter ----
+
+TEST(Counter, AggregatesAcrossThreads) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& c = reg.counter("t.count");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i) c.increment();
+        });
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c.value(), std::int64_t{kThreads} * kPerThread);
+}
+
+TEST(Counter, AddAndReset) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& c = reg.counter("t.count");
+    c.add(5);
+    c.add(37);
+    EXPECT_EQ(c.value(), 42);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Counter, FindOrCreateReturnsSameInstance) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& a = reg.counter("same.name");
+    auto& b = reg.counter("same.name");
+    EXPECT_EQ(&a, &b);
+    a.increment();
+    EXPECT_EQ(b.value(), 1);
+}
+
+// --------------------------------------------------------------- Gauge ----
+
+TEST(Gauge, TracksLastAndMax) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& g = reg.gauge("t.depth");
+    g.set(3);
+    g.set(17);
+    g.set(5);
+    EXPECT_EQ(g.value(), 5);
+    EXPECT_EQ(g.max(), 17);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.max(), 0);
+}
+
+// ----------------------------------------------------------- Histogram ----
+
+TEST(LogHistogram, UnitBucketsAreExact) {
+    // Values below 2^kSubBits get one bucket each.
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const std::size_t i = LogHistogram::bucket_index(v);
+        EXPECT_EQ(LogHistogram::bucket_lo(i), v);
+        EXPECT_EQ(LogHistogram::bucket_hi(i), v + 1);
+    }
+}
+
+TEST(LogHistogram, BucketBoundsContainValue) {
+    for (std::uint64_t v :
+         {std::uint64_t{8}, std::uint64_t{9}, std::uint64_t{15},
+          std::uint64_t{16}, std::uint64_t{1000}, std::uint64_t{123456789},
+          std::uint64_t{1} << 39}) {
+        const std::size_t i = LogHistogram::bucket_index(v);
+        EXPECT_LE(LogHistogram::bucket_lo(i), v) << v;
+        EXPECT_LT(v, LogHistogram::bucket_hi(i)) << v;
+        // Relative bucket width <= 12.5% above the unit range.
+        const double lo = static_cast<double>(LogHistogram::bucket_lo(i));
+        const double hi = static_cast<double>(LogHistogram::bucket_hi(i));
+        EXPECT_LE((hi - lo) / lo, 0.125 + 1e-12) << v;
+    }
+}
+
+TEST(LogHistogram, BucketIndexIsMonotone) {
+    std::size_t prev = 0;
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        const std::size_t i = LogHistogram::bucket_index(v);
+        EXPECT_GE(i, prev) << v;
+        prev = i;
+    }
+}
+
+TEST(LogHistogram, SummaryOfUniformRamp) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& h = reg.histogram("t.lat");
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+    const auto s = h.summarize();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.min, 1u);
+    EXPECT_EQ(s.max, 1000u);
+    EXPECT_NEAR(s.mean, 500.5, 1e-9);  // sum is tracked exactly
+    // Quantiles come from log buckets: within the 12.5% bucket resolution.
+    EXPECT_NEAR(s.p50, 500.0, 0.125 * 500.0);
+    EXPECT_NEAR(s.p95, 950.0, 0.125 * 950.0);
+    EXPECT_NEAR(s.p99, 990.0, 0.125 * 990.0);
+}
+
+TEST(LogHistogram, SingleValueQuantiles) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& h = reg.histogram("t.lat");
+    for (int i = 0; i < 100; ++i) h.observe(7777);
+    EXPECT_NEAR(h.quantile(0.5), 7777.0, 0.125 * 7777.0);
+    EXPECT_NEAR(h.quantile(0.99), 7777.0, 0.125 * 7777.0);
+}
+
+TEST(LogHistogram, EmptySummarizesToZero) {
+    Registry reg;
+    const auto s = reg.histogram("t.lat").summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.max, 0u);
+    EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(LogHistogram, HugeValueClampsToLastBucket) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& h = reg.histogram("t.lat");
+    h.observe(~std::uint64_t{0});
+    const auto s = h.summarize();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.max, ~std::uint64_t{0});  // min/max track raw values
+    EXPECT_GT(s.p50, 0.0);
+}
+
+// ----------------------------------------------------------------- Trace ----
+
+TEST(Trace, ScopedSpansNestWithDepth) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    const auto outer_id = reg.intern("outer.stage");
+    const auto inner_id = reg.intern("inner.stage");
+    EXPECT_EQ(reg.span_name(outer_id), "outer.stage");
+    {
+        auto outer = reg.span(outer_id);
+        auto inner = reg.span(inner_id);
+    }
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.spans.size(), 2u);
+    // Spans record on close: inner first.
+    EXPECT_EQ(snap.spans[0].stage, "inner.stage");
+    EXPECT_EQ(snap.spans[0].depth, 1u);
+    EXPECT_EQ(snap.spans[1].stage, "outer.stage");
+    EXPECT_EQ(snap.spans[1].depth, 0u);
+    EXPECT_LE(snap.spans[1].start_ns, snap.spans[0].start_ns);
+    EXPECT_LE(snap.spans[0].end_ns, snap.spans[1].end_ns);
+    EXPECT_EQ(snap.spans_dropped, 0u);
+}
+
+TEST(Trace, BufferBoundsRetentionAndCountsDrops) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg(/*trace_capacity=*/4);
+    const auto id = reg.intern("s");
+    for (int i = 0; i < 10; ++i) {
+        auto span = reg.span(id);
+    }
+    EXPECT_EQ(reg.trace().events().size(), 4u);
+    EXPECT_EQ(reg.trace().dropped(), 6u);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.spans.size(), 4u);
+    EXPECT_EQ(snap.spans_dropped, 6u);
+    reg.reset();
+    EXPECT_EQ(reg.trace().events().size(), 0u);
+    EXPECT_EQ(reg.trace().dropped(), 0u);
+}
+
+TEST(Trace, NowNsIsMonotonic) {
+    const auto a = now_ns();
+    const auto b = now_ns();
+    EXPECT_LE(a, b);
+}
+
+// -------------------------------------------------------------- Registry ----
+
+TEST(Registry, RuntimeDisableMakesMutatorsNoOps) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& c = reg.counter("t.count");
+    auto& g = reg.gauge("t.gauge");
+    auto& h = reg.histogram("t.hist");
+    const auto id = reg.intern("t.stage");
+    reg.set_enabled(false);
+    EXPECT_FALSE(reg.enabled());
+    c.increment();
+    g.set(9);
+    h.observe(100);
+    {
+        auto span = reg.span(id);
+    }
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(reg.trace().events().empty());
+    reg.set_enabled(true);
+    c.increment();
+    EXPECT_EQ(c.value(), 1);
+}
+
+TEST(Registry, SpanOpenedWhileDisabledNeverRecords) {
+    // The enable check happens at span open, so a disable->enable flip mid
+    // scope must not produce a half-timed event.
+    Registry reg;
+    const auto id = reg.intern("t.stage");
+    reg.set_enabled(false);
+    {
+        auto span = reg.span(id);
+        reg.set_enabled(true);
+    }
+    EXPECT_TRUE(reg.trace().events().empty());
+}
+
+TEST(Registry, SnapshotSortsByName) {
+    Registry reg;
+    reg.counter("zebra").increment();
+    reg.counter("alpha").increment();
+    reg.counter("mid").increment();
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 3u);
+    EXPECT_EQ(snap.counters[0].name, "alpha");
+    EXPECT_EQ(snap.counters[1].name, "mid");
+    EXPECT_EQ(snap.counters[2].name, "zebra");
+}
+
+TEST(Registry, ResetZeroesButKeepsReferences) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& c = reg.counter("t.count");
+    auto& g = reg.gauge("t.gauge");
+    auto& h = reg.histogram("t.hist");
+    c.add(3);
+    g.set(4);
+    h.observe(5);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    c.increment();  // the cached reference is still live
+    EXPECT_EQ(reg.snapshot().counters[0].value, 1);
+}
+
+TEST(Registry, GlobalIsSingleton) {
+    EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+// ------------------------------------------------------------------ JSON ----
+
+TEST(Json, DumpParseRoundTrip) {
+    JsonValue::Object obj;
+    obj.emplace_back("name", JsonValue("hybrid.ring"));
+    obj.emplace_back("value", JsonValue(42));
+    obj.emplace_back("ratio", JsonValue(0.5));
+    obj.emplace_back("ok", JsonValue(true));
+    obj.emplace_back("none", JsonValue(nullptr));
+    JsonValue::Array arr;
+    arr.emplace_back(JsonValue(1));
+    arr.emplace_back(JsonValue("two"));
+    obj.emplace_back("list", JsonValue(std::move(arr)));
+    const JsonValue doc{std::move(obj)};
+
+    const JsonValue back = parse_json(doc.dump(2));
+    EXPECT_EQ(back.at("name").as_string(), "hybrid.ring");
+    EXPECT_DOUBLE_EQ(back.at("value").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(back.at("ratio").as_number(), 0.5);
+    EXPECT_TRUE(back.at("ok").as_bool());
+    EXPECT_TRUE(back.at("none").is_null());
+    ASSERT_EQ(back.at("list").as_array().size(), 2u);
+    EXPECT_EQ(back.at("list").as_array()[1].as_string(), "two");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+    const JsonValue v(std::string("a\"b\\c\n\t\x01z"));
+    const JsonValue back = parse_json(v.dump());
+    EXPECT_EQ(back.as_string(), "a\"b\\c\n\t\x01z");
+}
+
+TEST(Json, ParsesUnicodeEscape) {
+    const JsonValue v = parse_json("\"\\u00e9\"");
+    EXPECT_EQ(v.as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    const JsonValue v = parse_json(R"({"z": 1, "a": 2})");
+    const auto& fields = v.as_object();
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[0].first, "z");
+    EXPECT_EQ(fields[1].first, "a");
+}
+
+TEST(Json, MalformedInputThrows) {
+    EXPECT_THROW(parse_json("{"), Error);
+    EXPECT_THROW(parse_json("[1, ]"), Error);
+    EXPECT_THROW(parse_json("tru"), Error);
+    EXPECT_THROW(parse_json("{} extra"), Error);
+    EXPECT_THROW(parse_json(""), Error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+    const JsonValue v = parse_json("[1]");
+    EXPECT_THROW((void)v.as_object(), Error);
+    EXPECT_THROW((void)v.at("x"), Error);
+    EXPECT_THROW((void)v.as_array()[0].as_string(), Error);
+}
+
+// ---------------------------------------------------------------- Report ----
+
+Registry& populated_registry(Registry& reg) {
+    reg.counter("hybrid.records").add(1234);
+    reg.counter("cpu.frames").add(5);
+    reg.gauge("hybrid.ring_occupancy").set(17);
+    reg.gauge("hybrid.ring_occupancy").set(9);
+    auto& h = reg.histogram("cpu.decode_ns");
+    for (std::uint64_t v = 100; v <= 10000; v += 100) h.observe(v);
+    const auto id = reg.intern("cpu.deconvolve");
+    {
+        auto span = reg.span(id);
+    }
+    return reg;
+}
+
+TEST(Report, JsonSchemaRoundTrip) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    const auto snap = populated_registry(reg).snapshot();
+    RunMeta meta;
+    meta.bench = "unit";
+    meta.scalars.emplace_back("speedup", 3.5);
+    meta.labels.emplace_back("experiment", "E4");
+
+    const JsonValue doc = to_json(snap, meta);
+    EXPECT_EQ(doc.at("schema").as_string(), kSchemaV1);
+    EXPECT_EQ(doc.at("bench").as_string(), "unit");
+    EXPECT_DOUBLE_EQ(doc.at("scalars").at("speedup").as_number(), 3.5);
+    EXPECT_EQ(doc.at("labels").at("experiment").as_string(), "E4");
+
+    // Serialize, reparse, reconstruct — every metric survives.
+    const Snapshot back = snapshot_from_json(parse_json(doc.dump(2)));
+    ASSERT_EQ(back.counters.size(), snap.counters.size());
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        EXPECT_EQ(back.counters[i].name, snap.counters[i].name);
+        EXPECT_EQ(back.counters[i].value, snap.counters[i].value);
+    }
+    ASSERT_EQ(back.gauges.size(), 1u);
+    EXPECT_EQ(back.gauges[0].value, 9);
+    EXPECT_EQ(back.gauges[0].max, 17);
+    ASSERT_EQ(back.histograms.size(), 1u);
+    EXPECT_EQ(back.histograms[0].summary.count, snap.histograms[0].summary.count);
+    EXPECT_DOUBLE_EQ(back.histograms[0].summary.p95, snap.histograms[0].summary.p95);
+    ASSERT_EQ(back.spans.size(), 1u);
+    EXPECT_EQ(back.spans[0].stage, "cpu.deconvolve");
+    EXPECT_EQ(back.spans[0].start_ns, snap.spans[0].start_ns);
+    EXPECT_EQ(back.spans_dropped, snap.spans_dropped);
+}
+
+TEST(Report, RejectsWrongSchemaTag) {
+    EXPECT_THROW(snapshot_from_json(parse_json(R"({"schema": "bogus.v9"})")),
+                 Error);
+    EXPECT_THROW(snapshot_from_json(parse_json("{}")), Error);
+}
+
+TEST(Report, CsvListsEveryMetricKind) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    const auto snap = populated_registry(reg).snapshot();
+    std::ostringstream os;
+    write_csv(os, snap);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("counter,hybrid.records,1234"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("gauge,hybrid.ring_occupancy,9,17"), std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find("histogram,cpu.decode_ns"), std::string::npos) << csv;
+}
+
+TEST(Report, TablesRenderWithoutThrowing) {
+    Registry reg;
+    const auto snap = populated_registry(reg).snapshot();
+    std::ostringstream os;
+    print_report(os, snap);
+    EXPECT_NE(os.str().find("hybrid.records"), std::string::npos);
+    EXPECT_NE(os.str().find("cpu.decode_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htims::telemetry
