@@ -49,11 +49,13 @@ int main() {
     meta.bench = "bench_e3_throughput";
     meta.labels.emplace_back("experiment", "E3");
     meta.labels.emplace_back("paper_ref", "Table 1");
+    meta.labels.emplace_back("simd_tier", simd_tier_name(simd_tier()));
+    meta.labels.emplace_back("batch_lanes", std::to_string(batch_lanes()));
 
     Table table("E3: sustained throughput vs instrument rate (Msamples/s)");
     table.set_header({"order", "ovs", "fine_bins", "instr_rate", "fpga_rtf",
-                      "fpga_wide_rtf", "cpu_rate", "cpu_rtf", "fpga_bram_MB",
-                      "fits_bram"});
+                      "fpga_wide_rtf", "cpu_rate", "cpu_rtf", "cpu_sc_rtf",
+                      "cpu_batch_x", "fpga_bram_MB", "fits_bram"});
     table.set_precision(2);
 
     struct Case {
@@ -97,19 +99,31 @@ int main() {
         (void)wide.end_frame();
         const double wide_rate = wide.sustained_sample_rate(averages);
 
-        // CPU backend: measured wall time over a few repeats.
+        // CPU backend, batched (default) vs forced-scalar: same frame, same
+        // thread pool size, so cpu_batch_x is the end-to-end gain of the
+        // tiled SIMD decode path alone.
         pipeline::CpuBackend cpu(seq, layout, 0);
         double best = 0.0;
         for (int rep = 0; rep < 3; ++rep) {
             (void)cpu.deconvolve(raw);
             best = std::max(best, cpu.sustained_sample_rate(averages));
         }
+        pipeline::CpuBackend cpu_scalar(seq, layout, 0);
+        cpu_scalar.set_batch_lanes(1);
+        double best_scalar = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            (void)cpu_scalar.deconvolve(raw);
+            best_scalar =
+                std::max(best_scalar, cpu_scalar.sustained_sample_rate(averages));
+        }
+        const double batch_speedup = best_scalar > 0.0 ? best / best_scalar : 0.0;
 
         table.add_row({std::int64_t{c.order}, std::int64_t{c.ovs},
                        static_cast<std::int64_t>(layout.drift_bins),
                        instrument_rate / 1e6, fpga_rate / instrument_rate,
                        wide_rate / instrument_rate, best / 1e6,
-                       best / instrument_rate,
+                       best / instrument_rate, best_scalar / instrument_rate,
+                       batch_speedup,
                        static_cast<double>(fpga.report().bram_bytes_used) / 1048576.0,
                        std::string(fpga.report().fits_bram ? "yes" : "no")});
 
@@ -120,6 +134,9 @@ int main() {
         meta.scalars.emplace_back(tag + ".fpga_wide_rtf",
                                   wide_rate / instrument_rate);
         meta.scalars.emplace_back(tag + ".cpu_rtf", best / instrument_rate);
+        meta.scalars.emplace_back(tag + ".cpu_rtf_scalar",
+                                  best_scalar / instrument_rate);
+        meta.scalars.emplace_back(tag + ".cpu_batch_speedup", batch_speedup);
     }
     table.print(std::cout);
 
@@ -166,6 +183,8 @@ int main() {
                  "exhausted — while the widened fabric (4 words/cycle, 16\n"
                  "engines) restores realtime_factor >= 1 everywhere. The CPU\n"
                  "software backend sustains the instrument rate at every\n"
-                 "order, which is the paper's headline feasibility result.\n";
+                 "order, which is the paper's headline feasibility result;\n"
+                 "cpu_batch_x is the extra margin the tiled SIMD decode path\n"
+                 "buys over the scalar per-channel decode.\n";
     return 0;
 }

@@ -28,6 +28,8 @@ int main() {
     meta.bench = "bench_e4_scaling";
     meta.labels.emplace_back("experiment", "E4");
     meta.labels.emplace_back("paper_ref", "Figure 3");
+    meta.labels.emplace_back("simd_tier", simd_tier_name(simd_tier()));
+    meta.labels.emplace_back("batch_lanes", std::to_string(batch_lanes()));
     meta.scalars.emplace_back("hardware_concurrency",
                               std::thread::hardware_concurrency());
 
@@ -35,7 +37,7 @@ int main() {
               << "\n";
     Table table("E4: CPU backend strong scaling (fixed frame)");
     table.set_header({"threads", "decode_ms", "speedup", "efficiency_%",
-                      "Msamples/s"});
+                      "Msamples/s", "scalar_ms", "batch_x"});
     table.set_precision(2);
 
     double t1 = 0.0;
@@ -46,15 +48,29 @@ int main() {
             (void)cpu.deconvolve(raw);
             best = std::min(best, cpu.last_seconds());
         }
+        // Forced-scalar decode at the same thread count: batch_x isolates the
+        // SIMD tile path's contribution at every point of the scaling curve
+        // (thread scaling and lane batching are orthogonal axes).
+        pipeline::CpuBackend cpu_scalar(seq, layout, threads);
+        cpu_scalar.set_batch_lanes(1);
+        double best_scalar = 1e9;
+        for (int rep = 0; rep < 3; ++rep) {
+            (void)cpu_scalar.deconvolve(raw);
+            best_scalar = std::min(best_scalar, cpu_scalar.last_seconds());
+        }
         if (threads == 1) t1 = best;
         const double speedup = t1 / best;
+        const double batch_speedup = best > 0.0 ? best_scalar / best : 0.0;
         table.add_row({static_cast<std::int64_t>(threads), best * 1e3, speedup,
                        100.0 * speedup / static_cast<double>(threads),
-                       static_cast<double>(layout.cells()) / best / 1e6});
+                       static_cast<double>(layout.cells()) / best / 1e6,
+                       best_scalar * 1e3, batch_speedup});
 
         const std::string tag = "threads" + std::to_string(threads);
         meta.scalars.emplace_back(tag + ".decode_s", best);
         meta.scalars.emplace_back(tag + ".speedup", speedup);
+        meta.scalars.emplace_back(tag + ".decode_s_scalar", best_scalar);
+        meta.scalars.emplace_back(tag + ".batch_speedup", batch_speedup);
     }
     table.print(std::cout);
 

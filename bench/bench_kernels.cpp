@@ -1,13 +1,24 @@
 // Kernel microbenchmarks (google-benchmark): the computational primitives
-// whose cost determines every throughput number in E3/E4 — FWHT, the fast
-// simplex decode, the enhanced oversampled decode, the FPGA integer decode
-// path, and the SPSC streaming link.
+// whose cost determines every throughput number in E3/E4 — FWHT (scalar and
+// lane-blocked batch), the fast simplex decode (scalar and batched), the
+// enhanced oversampled decode, the FPGA integer decode path, and the SPSC
+// streaming link. Besides the console table, the run emits a
+// BENCH_KERNELS.json run report (htims.telemetry.v1): every benchmark's
+// items/s as a scalar, plus the scalar-vs-batched speedups the batched
+// deconvolution path is gated on — so the kernel perf trajectory stays
+// machine-readable across commits.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "pipeline/fpga.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "prs/oversampled.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transform/deconvolver.hpp"
 #include "transform/enhanced.hpp"
 #include "transform/fwht.hpp"
@@ -28,6 +39,25 @@ static void BM_Fwht(benchmark::State& state) {
 }
 BENCHMARK(BM_Fwht)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
+static void BM_FwhtBatch(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto lanes = static_cast<std::size_t>(state.range(1));
+    AlignedVector<double> data(n * lanes);
+    Rng rng(1);
+    for (auto& v : data) v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        transform::fwht_batch(data, lanes);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * lanes));
+}
+BENCHMARK(BM_FwhtBatch)
+    ->Args({1024, 4})
+    ->Args({1024, 8})
+    ->Args({4096, 8})
+    ->Args({16384, 8});
+
 static void BM_SimplexDecode(benchmark::State& state) {
     const int order = static_cast<int>(state.range(0));
     const prs::MSequence seq(order);
@@ -43,7 +73,33 @@ static void BM_SimplexDecode(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(seq.length()));
 }
-BENCHMARK(BM_SimplexDecode)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+BENCHMARK(BM_SimplexDecode)->Arg(8)->Arg(10)->Arg(11)->Arg(12)->Arg(14);
+
+// Items processed counts decoded samples across all lanes, so items/s is
+// directly comparable with BM_SimplexDecode's per-channel figure.
+static void BM_SimplexDecodeBatch(benchmark::State& state) {
+    const int order = static_cast<int>(state.range(0));
+    const auto lanes = static_cast<std::size_t>(state.range(1));
+    const prs::MSequence seq(order);
+    const transform::Deconvolver d(seq);
+    auto ws = d.make_batch_workspace(lanes);
+    AlignedVector<double> y(seq.length() * lanes), x(seq.length() * lanes);
+    Rng rng(2);
+    for (auto& v : y) v = rng.uniform(0.0, 255.0);
+    for (auto _ : state) {
+        d.decode_batch(y, x, ws);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(seq.length() * lanes));
+}
+BENCHMARK(BM_SimplexDecodeBatch)
+    ->Args({8, 8})
+    ->Args({10, 8})
+    ->Args({11, 4})
+    ->Args({11, 8})
+    ->Args({12, 8})
+    ->Args({14, 8});
 
 static void BM_EnhancedDecode(benchmark::State& state) {
     const int factor = static_cast<int>(state.range(0));
@@ -61,6 +117,24 @@ static void BM_EnhancedDecode(benchmark::State& state) {
                             static_cast<std::int64_t>(seq.length()));
 }
 BENCHMARK(BM_EnhancedDecode)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_EnhancedDecodeBatch(benchmark::State& state) {
+    const int factor = static_cast<int>(state.range(0));
+    const auto lanes = static_cast<std::size_t>(state.range(1));
+    const prs::OversampledPrs seq(10, factor, prs::GateMode::kStretched);
+    const transform::EnhancedDeconvolver d(seq);
+    auto ws = d.make_batch_workspace(lanes);
+    AlignedVector<double> y(seq.length() * lanes), x(seq.length() * lanes);
+    Rng rng(3);
+    for (auto& v : y) v = rng.uniform(0.0, 255.0);
+    for (auto _ : state) {
+        d.decode_batch(y, x, ws);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(seq.length() * lanes));
+}
+BENCHMARK(BM_EnhancedDecodeBatch)->Args({1, 8})->Args({2, 8})->Args({4, 8});
 
 static void BM_FpgaFrameDecode(benchmark::State& state) {
     const prs::OversampledPrs seq(8, 2, prs::GateMode::kPulsed);
@@ -96,4 +170,72 @@ static void BM_SpscRing(benchmark::State& state) {
 }
 BENCHMARK(BM_SpscRing);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output plus capture: every finished run's items/s lands in the
+// RunMeta scalars keyed by the benchmark's display name, which the JSON run
+// report then persists.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+    explicit CaptureReporter(telemetry::RunMeta& meta) : meta_(meta) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                meta_.scalars.emplace_back(run.benchmark_name() + ".items_per_second",
+                                           it->second.value);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+private:
+    telemetry::RunMeta& meta_;
+};
+
+double find_scalar(const telemetry::RunMeta& meta, const std::string& key) {
+    for (const auto& [name, value] : meta.scalars)
+        if (name == key) return value;
+    return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    auto& tel = telemetry::Registry::global();
+    tel.reset();
+
+    telemetry::RunMeta meta;
+    meta.bench = "bench_kernels";
+    meta.labels.emplace_back("simd_tier", simd_tier_name(simd_tier()));
+    meta.labels.emplace_back("batch_lanes", std::to_string(batch_lanes()));
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    CaptureReporter reporter(meta);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    // Headline derived figures: the batched-path speedups the perf work is
+    // gated on (per-sample throughput ratios, lanes already normalized out).
+    const double scalar11 = find_scalar(meta, "BM_SimplexDecode/11.items_per_second");
+    const double batch11 = find_scalar(meta, "BM_SimplexDecodeBatch/11/8.items_per_second");
+    if (scalar11 > 0.0 && batch11 > 0.0)
+        meta.scalars.emplace_back("speedup.simplex_decode_order11", batch11 / scalar11);
+    const double fwht16k = find_scalar(meta, "BM_Fwht/16384.items_per_second");
+    const double fwht16k8 = find_scalar(meta, "BM_FwhtBatch/16384/8.items_per_second");
+    if (fwht16k > 0.0 && fwht16k8 > 0.0)
+        meta.scalars.emplace_back("speedup.fwht_16384", fwht16k8 / fwht16k);
+    const double enh4 = find_scalar(meta, "BM_EnhancedDecode/4.items_per_second");
+    const double enh4b = find_scalar(meta, "BM_EnhancedDecodeBatch/4/8.items_per_second");
+    if (enh4 > 0.0 && enh4b > 0.0)
+        meta.scalars.emplace_back("speedup.enhanced_decode_factor4", enh4b / enh4);
+
+    if (tel.enabled()) {
+        const auto snap = tel.snapshot();
+        telemetry::save_json_report("BENCH_KERNELS.json", snap, meta);
+        std::cout << "telemetry run report written to BENCH_KERNELS.json\n";
+    }
+    return 0;
+}

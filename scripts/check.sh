@@ -4,7 +4,9 @@
 # 1. Tier-1: configure + build + full ctest in build-check/.
 # 2. Sanitizers: rebuild the library and tests with AddressSanitizer and
 #    UndefinedBehaviorSanitizer (-DHTIMS_SANITIZE=ON) in build-asan/ and run
-#    the test suite again under them.
+#    the test suite again under them. This configuration also enables
+#    -DHTIMS_NATIVE=ON so the vectorized (batched SIMD) paths are compiled
+#    at the host's full ISA and checked for warnings/UB.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -22,8 +24,8 @@ ctest --test-dir build-check --output-on-failure -j "$jobs"
 
 if [[ "$sanitize" == 1 ]]; then
     echo "== sanitizers: ASan + UBSan build + ctest =="
-    cmake -B build-asan -S . -DHTIMS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        > /dev/null
+    cmake -B build-asan -S . -DHTIMS_SANITIZE=ON -DHTIMS_NATIVE=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build build-asan -j "$jobs"
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
 fi

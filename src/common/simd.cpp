@@ -1,0 +1,96 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace htims {
+
+namespace {
+
+SimdTier detect() {
+#if defined(__aarch64__)
+    // NEON (ASIMD) is architecturally mandatory on aarch64.
+    return SimdTier::kNeon;
+#elif defined(__x86_64__) || defined(__i386__)
+    // The batched FWHT uses only f/dq subsets of AVX-512; vl is required so
+    // the compiler may mix 256-bit ops freely inside the same kernel.
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl"))
+        return SimdTier::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+    return SimdTier::kGeneric;
+#else
+    return SimdTier::kGeneric;
+#endif
+}
+
+// Rank used for the "downgrade only" rule: an env request is honored only if
+// the detected tier is a superset of the requested one.
+int tier_rank(SimdTier t) {
+    switch (t) {
+        case SimdTier::kGeneric: return 0;
+        case SimdTier::kAvx2: return 1;
+        case SimdTier::kAvx512: return 2;
+        case SimdTier::kNeon: return 1;  // generic < neon; no x86 relation
+    }
+    return 0;
+}
+
+bool same_family(SimdTier a, SimdTier b) {
+    const bool a_neon = a == SimdTier::kNeon;
+    const bool b_neon = b == SimdTier::kNeon;
+    return a == SimdTier::kGeneric || b == SimdTier::kGeneric || a_neon == b_neon;
+}
+
+SimdTier apply_env(SimdTier detected) {
+    const char* env = std::getenv("HTIMS_SIMD");
+    if (env == nullptr || *env == '\0') return detected;
+    const std::string want(env);
+    SimdTier requested = detected;
+    if (want == "generic" || want == "scalar")
+        requested = SimdTier::kGeneric;
+    else if (want == "avx2")
+        requested = SimdTier::kAvx2;
+    else if (want == "avx512")
+        requested = SimdTier::kAvx512;
+    else if (want == "neon")
+        requested = SimdTier::kNeon;
+    else
+        return detected;  // unknown value: ignore rather than crash mid-run
+    if (!same_family(requested, detected) || tier_rank(requested) > tier_rank(detected))
+        return detected;
+    return requested;
+}
+
+}  // namespace
+
+SimdTier simd_tier() {
+    static const SimdTier tier = apply_env(detect());
+    return tier;
+}
+
+const char* simd_tier_name(SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kGeneric: return "generic";
+        case SimdTier::kAvx2: return "avx2";
+        case SimdTier::kAvx512: return "avx512";
+        case SimdTier::kNeon: return "neon";
+    }
+    return "unknown";
+}
+
+std::size_t simd_register_lanes(SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kGeneric: return 1;
+        case SimdTier::kAvx2: return 4;
+        case SimdTier::kAvx512: return 8;
+        case SimdTier::kNeon: return 2;
+    }
+    return 1;
+}
+
+std::size_t batch_lanes() {
+    return simd_tier() == SimdTier::kAvx512 ? 8 : 4;
+}
+
+}  // namespace htims

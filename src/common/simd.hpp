@@ -1,0 +1,43 @@
+// simd.hpp — runtime CPU-dispatch shim for the batched (multi-lane) kernels.
+//
+// The batched deconvolution path widens its butterflies to L contiguous
+// doubles per node; how wide L should be, and which kernel variant runs, is
+// a property of the machine the binary lands on, not of the build. This shim
+// detects the instruction set once (process lifetime), exposes the selected
+// tier, and lets kernels hang their function-pointer tables off it. The
+// environment variable HTIMS_SIMD ("generic", "avx2", "avx512", "neon") can
+// *downgrade* the selection — useful for A/B benchmarking and for forcing
+// the portable kernel through the sanitizer builds — but never upgrades past
+// what the CPU reports.
+#pragma once
+
+#include <cstddef>
+
+namespace htims {
+
+/// Instruction-set tier the batched kernels dispatch on. Order matters on
+/// x86: higher enum values are strict supersets.
+enum class SimdTier : int {
+    kGeneric = 0,  ///< portable auto-vectorizable C++
+    kAvx2 = 1,     ///< 256-bit: 4 doubles per register
+    kAvx512 = 2,   ///< 512-bit: 8 doubles per register
+    kNeon = 3,     ///< aarch64: 2 doubles per register (always present)
+};
+
+/// Detected (and possibly env-downgraded) tier. Detection runs once; the
+/// result is cached for the process lifetime, so kernels may safely build
+/// static dispatch tables from it.
+SimdTier simd_tier();
+
+/// Human-readable tier name ("generic", "avx2", "avx512", "neon").
+const char* simd_tier_name(SimdTier tier);
+
+/// Doubles per SIMD register at a tier (1 for generic — scalar registers).
+std::size_t simd_register_lanes(SimdTier tier);
+
+/// Default lane count L for the batched deconvolution path on this machine:
+/// 8 under AVX-512, otherwise 4 (two NEON registers / one AVX2 register /
+/// a comfortably unrollable width for the portable kernel).
+std::size_t batch_lanes();
+
+}  // namespace htims

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
@@ -45,18 +46,39 @@ void ThreadPool::wait_idle() {
     cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::parallel_for_impl(std::size_t n, std::size_t grain, RangeBody body) {
     if (n == 0) return;
     const std::size_t workers = size();
-    if (workers <= 1 || n < 2 * workers) {
-        fn(0, n);
+    const bool auto_grain = grain == 0;
+    if (auto_grain) grain = 1;
+    // ~4 chunks per worker for load balance, but never below the caller's
+    // grain — an explicit grain marks the unit of work that is already
+    // coarse enough to amortize one dispatch.
+    const std::size_t chunk = std::max(grain, (n + 4 * workers - 1) / (4 * workers));
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+    if (workers <= 1 || chunks <= 1 || (auto_grain && n < 2 * workers)) {
+        body(0, n);
         return;
     }
-    const std::size_t chunk = (n + workers - 1) / workers;
-    for (std::size_t begin = 0; begin < n; begin += chunk) {
-        const std::size_t end = std::min(begin + chunk, n);
-        submit([&fn, begin, end] { fn(begin, end); });
+    // Shared loop state lives on this (joining) stack frame; each dispatched
+    // task captures only its address, which fits std::function's small-buffer
+    // storage — no per-chunk heap allocation.
+    struct Shared {
+        RangeBody body;
+        std::size_t n;
+        std::size_t chunk;
+        std::atomic<std::size_t> cursor{0};
+    } shared{body, n, chunk};
+    const std::size_t tasks = std::min(workers, chunks);
+    for (std::size_t i = 0; i < tasks; ++i) {
+        submit([s = &shared] {
+            for (;;) {
+                const std::size_t begin =
+                    s->cursor.fetch_add(s->chunk, std::memory_order_relaxed);
+                if (begin >= s->n) return;
+                s->body(begin, std::min(begin + s->chunk, s->n));
+            }
+        });
     }
     wait_idle();
 }

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace htims {
@@ -37,13 +38,48 @@ public:
     /// Block until every submitted task has finished.
     void wait_idle();
 
-    /// Run fn(begin, end) over [0, n) split into roughly equal chunks, one
-    /// per worker, and wait for completion. Runs inline when the pool has a
-    /// single worker or n is small, so the call is always safe to nest in
-    /// tests.
-    void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+    /// Non-owning reference to a `void(std::size_t, std::size_t)` range
+    /// body. parallel_for's template front-end erases the callable into this
+    /// two-pointer view, so dispatching a loop costs no heap allocation and
+    /// no std::function indirection per chunk. The referenced callable must
+    /// outlive the parallel_for call (it always does — the call joins).
+    class RangeBody {
+    public:
+        template <typename Fn>
+            requires(!std::is_same_v<std::remove_cvref_t<Fn>, RangeBody>)
+        explicit RangeBody(Fn& fn)
+            : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+              invoke_([](void* obj, std::size_t begin, std::size_t end) {
+                  (*static_cast<Fn*>(obj))(begin, end);
+              }) {}
+
+        void operator()(std::size_t begin, std::size_t end) const {
+            invoke_(obj_, begin, end);
+        }
+
+    private:
+        void* obj_;
+        void (*invoke_)(void*, std::size_t, std::size_t);
+    };
+
+    /// Run fn(begin, end) over [0, n) and wait for completion. `grain` is
+    /// the minimum number of indices per chunk: 0 (the default) balances
+    /// chunks across workers and runs inline when n is too small to be worth
+    /// a dispatch; an explicit grain declares "one grain of indices is
+    /// already a task's worth of work" — chunks never shrink below it (so
+    /// tile-granular loops don't over-chunk) and the loop is dispatched even
+    /// for small n. Workers pull chunks from an atomic cursor through a
+    /// fixed set of tasks, one per worker, so per-chunk cost is one
+    /// fetch_add. Safe to nest: the single-worker/inline path recurses
+    /// without touching the queue.
+    template <typename Fn>
+    void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+        RangeBody body(fn);
+        parallel_for_impl(n, grain, body);
+    }
 
 private:
+    void parallel_for_impl(std::size_t n, std::size_t grain, RangeBody body);
     void worker_loop();
 
     std::vector<std::thread> workers_;

@@ -20,6 +20,7 @@
 
 #include "common/fixed_point.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/statistics.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"

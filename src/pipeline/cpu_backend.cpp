@@ -1,6 +1,7 @@
 #include "pipeline/cpu_backend.hpp"
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -8,44 +9,93 @@ namespace htims::pipeline {
 
 CpuBackend::CpuBackend(const prs::OversampledPrs& sequence, const FrameLayout& layout,
                        std::size_t threads)
-    : decon_(sequence), layout_(layout), pool_(threads) {
+    : decon_(sequence), layout_(layout), pool_(threads), lanes_(htims::batch_lanes()) {
     if (layout.drift_bins != sequence.length())
         throw ConfigError("frame drift bins must equal the sequence fine-grid length");
 }
 
-Frame CpuBackend::deconvolve(const Frame& raw) {
+void CpuBackend::set_batch_lanes(std::size_t lanes) {
+    lanes_ = lanes == 0 ? htims::batch_lanes() : lanes;
+}
+
+Frame CpuBackend::deconvolve(const Frame& raw) { return run(raw, lanes_); }
+
+Frame CpuBackend::deconvolve_scalar(const Frame& raw) { return run(raw, 1); }
+
+Frame CpuBackend::run(const Frame& raw, std::size_t lanes) {
     HTIMS_EXPECTS(raw.layout() == layout_);
     auto& tel = telemetry::Registry::global();
     static const auto kStageDecode = tel.intern("cpu.deconvolve");
     static auto& c_frames = tel.counter("cpu.frames");
     static auto& c_channels = tel.counter("cpu.channels");
+    static auto& c_tiles = tel.counter("cpu.tiles");
+    static auto& c_batched = tel.counter("cpu.batched_channels");
+    static auto& c_tail = tel.counter("cpu.scalar_channels");
+    static auto& g_tier = tel.gauge("cpu.simd_tier");
+    static auto& g_lanes = tel.gauge("cpu.batch_lanes");
     static auto& h_decode = tel.histogram("cpu.decode_ns");
+    static auto& h_tile = tel.histogram("cpu.tile_ns");
     auto span = tel.span(kStageDecode);
 
     Frame out(layout_);
     WallTimer timer;
-    pool_.parallel_for(layout_.mz_bins, [&](std::size_t lo, std::size_t hi) {
-        auto ws = decon_.make_workspace();
-        AlignedVector<double> in(layout_.drift_bins);
-        AlignedVector<double> result(layout_.drift_bins);
-        for (std::size_t m = lo; m < hi; ++m) {
-            raw.drift_profile(m, in);
-            decon_.decode(in, result, ws);
-            out.set_drift_profile(m, result);
-        }
-    });
+    const std::size_t tiles = lanes > 1 ? layout_.mz_bins / lanes : 0;
+    const std::size_t tail_begin = tiles * lanes;
+    const bool trace_tiles = telemetry::kCompiledIn && tel.enabled();
+    if (tiles > 0) {
+        // Tile-granular: one grain = one L-lane decode, already far coarser
+        // than a dispatch, so grain 1 keeps small frames parallel too.
+        pool_.parallel_for(
+            tiles,
+            [&](std::size_t lo, std::size_t hi) {
+                auto ws = decon_.make_batch_workspace(lanes);
+                AlignedVector<double> in(layout_.drift_bins * lanes);
+                AlignedVector<double> result(layout_.drift_bins * lanes);
+                for (std::size_t tile = lo; tile < hi; ++tile) {
+                    const std::uint64_t t0 = trace_tiles ? telemetry::now_ns() : 0;
+                    raw.gather_tile(tile * lanes, lanes, in);
+                    decon_.decode_batch(in, result, ws);
+                    out.scatter_tile(tile * lanes, lanes, result);
+                    if (trace_tiles) h_tile.observe(telemetry::now_ns() - t0);
+                }
+            },
+            /*grain=*/1);
+    }
+    if (tail_begin < layout_.mz_bins) {
+        // Ragged tail (mz_bins % lanes), or the whole frame on the scalar
+        // path — the original per-channel decomposition.
+        pool_.parallel_for(layout_.mz_bins - tail_begin, [&](std::size_t lo,
+                                                             std::size_t hi) {
+            auto ws = decon_.make_workspace();
+            AlignedVector<double> in(layout_.drift_bins);
+            AlignedVector<double> result(layout_.drift_bins);
+            for (std::size_t m = tail_begin + lo; m < tail_begin + hi; ++m) {
+                raw.drift_profile(m, in);
+                decon_.decode(in, result, ws);
+                out.set_drift_profile(m, result);
+            }
+        });
+    }
     last_seconds_ = timer.seconds();
+    total_seconds_ += last_seconds_;
+    ++total_frames_;
     c_frames.increment();
     c_channels.add(static_cast<std::int64_t>(layout_.mz_bins));
+    c_tiles.add(static_cast<std::int64_t>(tiles));
+    c_batched.add(static_cast<std::int64_t>(tail_begin));
+    c_tail.add(static_cast<std::int64_t>(layout_.mz_bins - tail_begin));
+    g_tier.set(static_cast<std::int64_t>(simd_tier()));
+    g_lanes.set(static_cast<std::int64_t>(lanes));
     h_decode.observe(static_cast<std::uint64_t>(last_seconds_ * 1e9));
     return out;
 }
 
 double CpuBackend::sustained_sample_rate(std::size_t averages) const {
-    if (last_seconds_ <= 0.0) return 0.0;
-    const double samples =
-        static_cast<double>(averages) * static_cast<double>(layout_.cells());
-    return samples / last_seconds_;
+    if (total_seconds_ <= 0.0 || total_frames_ == 0) return 0.0;
+    const double samples = static_cast<double>(averages) *
+                           static_cast<double>(layout_.cells()) *
+                           static_cast<double>(total_frames_);
+    return samples / total_seconds_;
 }
 
 }  // namespace htims::pipeline

@@ -7,6 +7,16 @@
 // parallel with uniform per-channel work — static chunking suffices).
 // Experiment E3 compares its sustained throughput against the FPGA model,
 // and E4 measures its strong scaling.
+//
+// Two decode paths share the same math:
+//  * batched (default) — m/z channels are processed L lanes per tile: a
+//    cache-friendly tile transpose (Frame::gather_tile) feeds
+//    EnhancedDeconvolver::decode_batch, whose butterflies run one SIMD
+//    register wide (common/simd.hpp picks L and the kernel tier at
+//    runtime). Channels beyond the last full tile take the scalar path.
+//  * scalar — the original one-channel-at-a-time decode, kept as the
+//    reference oracle and for A/B benchmarking (deconvolve_scalar, or
+//    set_batch_lanes(1)).
 #pragma once
 
 #include <cstddef>
@@ -28,21 +38,43 @@ public:
     const FrameLayout& layout() const { return layout_; }
     std::size_t threads() const { return pool_.size(); }
 
-    /// Deconvolve every m/z channel of `raw`; returns the drift-domain frame.
+    /// Lanes per tile of the batched path (1 = batching disabled).
+    std::size_t batch_lanes() const { return lanes_; }
+    /// Override the tile width: 0 restores the machine default
+    /// (htims::batch_lanes()), 1 forces the scalar path.
+    void set_batch_lanes(std::size_t lanes);
+
+    /// Deconvolve every m/z channel of `raw`; returns the drift-domain
+    /// frame. Uses the batched tile path unless batch_lanes() == 1.
     Frame deconvolve(const Frame& raw);
+
+    /// Reference path: one channel at a time, regardless of batch_lanes().
+    Frame deconvolve_scalar(const Frame& raw);
 
     /// Wall time of the last deconvolve() call (seconds).
     double last_seconds() const { return last_seconds_; }
+    /// Total decode wall time across all frames since construction.
+    double total_seconds() const { return total_seconds_; }
+    /// Frames deconvolved since construction.
+    std::size_t frames_decoded() const { return total_frames_; }
 
-    /// Raw-sample throughput implied by the last call for a frame that
-    /// accumulated `averages` periods: samples processed / decode time.
+    /// Raw-sample throughput averaged over every frame deconvolved since
+    /// construction, for frames that each accumulated `averages` periods:
+    /// total samples processed / total decode time. (A single slow frame no
+    /// longer defines the figure — E3's steady-state number comes from the
+    /// whole run.)
     double sustained_sample_rate(std::size_t averages) const;
 
 private:
+    Frame run(const Frame& raw, std::size_t lanes);
+
     transform::EnhancedDeconvolver decon_;
     FrameLayout layout_;
     ThreadPool pool_;
+    std::size_t lanes_;
     double last_seconds_ = 0.0;
+    double total_seconds_ = 0.0;
+    std::size_t total_frames_ = 0;
 };
 
 }  // namespace htims::pipeline

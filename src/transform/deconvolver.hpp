@@ -62,6 +62,25 @@ public:
     void decode_parallel(std::span<const double> y, std::span<double> x, Workspace& ws,
                          ThreadPool& pool) const;
 
+    /// Scratch for a lane-interleaved batch of `lanes` transforms:
+    /// (N + 1) * lanes doubles.
+    struct BatchWorkspace {
+        AlignedVector<double> buf;
+        std::size_t lanes = 0;
+    };
+    BatchWorkspace make_batch_workspace(std::size_t lanes) const {
+        return BatchWorkspace{AlignedVector<double>((n_ + 1) * lanes), lanes};
+    }
+
+    /// Decode `ws.lanes` independent records at once. `y` and `x` are
+    /// lane-interleaved (AoSoA): element t of lane l lives at
+    /// y[t * lanes + l]. The scatter/gather index permutations are applied
+    /// once per node group (L contiguous doubles move together) and the
+    /// transform runs through fwht_batch, so each lane's result is
+    /// bit-identical to decode() on that lane alone.
+    void decode_batch(std::span<const double> y, std::span<double> x,
+                      BatchWorkspace& ws) const;
+
     /// LFSR state trajectory s_t (scatter index for decode); values are
     /// distinct and nonzero, in [1, N].
     std::span<const std::uint32_t> scatter_index() const { return state_idx_; }

@@ -43,6 +43,109 @@ AlignedVector<double> EnhancedDeconvolver::decode(std::span<const double> y) con
     return x;
 }
 
+EnhancedDeconvolver::BatchWorkspace EnhancedDeconvolver::make_batch_workspace(
+    std::size_t lanes) const {
+    BatchWorkspace ws;
+    ws.base = base_.make_batch_workspace(lanes);
+    ws.phase_in.resize(n_ * lanes);
+    ws.phase_out.resize(n_ * lanes);
+    ws.z.resize(fine_len_ * lanes);
+    ws.anchor.resize(lanes);
+    ws.lanes = lanes;
+    return ws;
+}
+
+void EnhancedDeconvolver::decode_batch(std::span<const double> y, std::span<double> x,
+                                       BatchWorkspace& ws) const {
+    const std::size_t L = ws.lanes;
+    HTIMS_EXPECTS(L > 0 && ws.base.lanes == L);
+    HTIMS_EXPECTS(y.size() == fine_len_ * L && x.size() == fine_len_ * L);
+    if (factor_ == 1) {
+        base_.decode_batch(y, x, ws.base);
+        return;
+    }
+    const auto f = static_cast<std::size_t>(factor_);
+
+    if (mode_ == prs::GateMode::kPulsed) {
+        // F independent simplex systems, each decoded L lanes wide.
+        for (std::size_t r = 0; r < f; ++r) {
+            for (std::size_t q = 0; q < n_; ++q)
+                std::copy_n(y.data() + (f * q + r) * L, L, ws.phase_in.data() + q * L);
+            base_.decode_batch(ws.phase_in, ws.phase_out, ws.base);
+            for (std::size_t p = 0; p < n_; ++p)
+                std::copy_n(ws.phase_out.data() + p * L, L, x.data() + (f * p + r) * L);
+        }
+        return;
+    }
+
+    // Stretched gate. Z_r = S^{-1} Y_r for every phase, L lanes at a time.
+    for (std::size_t r = 0; r < f; ++r) {
+        for (std::size_t q = 0; q < n_; ++q)
+            std::copy_n(y.data() + (f * q + r) * L, L, ws.phase_in.data() + q * L);
+        base_.decode_batch(ws.phase_in, std::span(ws.z).subspan(r * n_ * L, n_ * L),
+                           ws.base);
+    }
+    const double* w = ws.z.data() + (f - 1) * n_ * L;  // Z_{F-1} = sum_t X_t
+
+    // Quiet-chip anchor per lane: first minimum of the chip-resolution total,
+    // matching std::min_element in the scalar decoder.
+    for (std::size_t l = 0; l < L; ++l) {
+        std::size_t q0 = 0;
+        double best = w[l];
+        for (std::size_t q = 1; q < n_; ++q) {
+            const double v = w[q * L + l];
+            if (v < best) {
+                best = v;
+                q0 = q;
+            }
+        }
+        ws.anchor[l] = q0;
+    }
+
+    // Integrate each phase's circular difference equation. The D_r build is
+    // lane-wide; the prefix integration is a sequential scan and runs scalar
+    // per lane with each lane's own anchor — identical arithmetic order to
+    // the scalar decoder, so results stay bit-identical.
+    for (std::size_t r = 0; r < f; ++r) {
+        const double* zr = ws.z.data() + r * n_ * L;
+        if (r == 0) {
+            for (std::size_t q = 0; q < n_; ++q) {
+                const double* wm1 = w + ((q + n_ - 1) % n_) * L;
+                double* d = ws.phase_in.data() + q * L;
+                for (std::size_t l = 0; l < L; ++l) d[l] = zr[q * L + l] - wm1[l];
+            }
+        } else {
+            const double* zp = ws.z.data() + (r - 1) * n_ * L;
+            for (std::size_t i = 0; i < n_ * L; ++i) ws.phase_in[i] = zr[i] - zp[i];
+        }
+        for (std::size_t l = 0; l < L; ++l) {
+            const std::size_t q0 = ws.anchor[l];
+            ws.phase_out[q0 * L + l] = 0.0;
+            for (std::size_t s = 1; s < n_; ++s) {
+                const std::size_t q = (q0 + s) % n_;
+                const std::size_t prev = (q0 + s - 1) % n_;
+                ws.phase_out[q * L + l] =
+                    ws.phase_out[prev * L + l] + ws.phase_in[q * L + l];
+            }
+        }
+        for (std::size_t p = 0; p < n_; ++p)
+            std::copy_n(ws.phase_out.data() + p * L, L, x.data() + (f * p + r) * L);
+    }
+
+    // Per-lane residual redistribution, same summation order as the scalar
+    // decoder.
+    for (std::size_t l = 0; l < L; ++l) {
+        double residual = 0.0;
+        for (std::size_t q = 0; q < n_; ++q) {
+            double s = w[q * L + l];
+            for (std::size_t r = 0; r < f; ++r) s -= x[(f * q + r) * L + l];
+            residual += s;
+        }
+        const double alpha = residual / static_cast<double>(n_ * f);
+        for (std::size_t i = 0; i < fine_len_; ++i) x[i * L + l] += alpha;
+    }
+}
+
 AlignedVector<double> EnhancedDeconvolver::encode(std::span<const double> x) const {
     return prs_.encode_reference(x);
 }

@@ -58,6 +58,27 @@ public:
     void decode(std::span<const double> y, std::span<double> x, Workspace& ws) const;
     AlignedVector<double> decode(std::span<const double> y) const;
 
+    /// Scratch for a lane-interleaved batch of `lanes` records.
+    struct BatchWorkspace {
+        Deconvolver::BatchWorkspace base;
+        AlignedVector<double> phase_in;        // one phase, N * lanes
+        AlignedVector<double> phase_out;       // one phase, N * lanes
+        AlignedVector<double> z;               // Z_r stack, F * N * lanes (stretched)
+        std::vector<std::size_t> anchor;       // per-lane quiet-chip index
+        std::size_t lanes = 0;
+    };
+    BatchWorkspace make_batch_workspace(std::size_t lanes) const;
+
+    /// Decode `ws.lanes` fine-grid records at once; y and x are
+    /// lane-interleaved (element i of lane l at y[i * lanes + l]). The
+    /// per-phase FWHT inversions run `lanes` wide through
+    /// Deconvolver::decode_batch; the stretched-mode circular integration is
+    /// inherently sequential per lane and runs scalar per lane in the exact
+    /// arithmetic order of decode(), so batched results match the scalar
+    /// decoder bit for bit (each lane keeps its own quiet-chip anchor).
+    void decode_batch(std::span<const double> y, std::span<double> x,
+                      BatchWorkspace& ws) const;
+
     /// Forward model on the fine grid (delegates to the gate waveform);
     /// reference implementation for tests and benches.
     AlignedVector<double> encode(std::span<const double> x) const;

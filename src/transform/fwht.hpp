@@ -27,6 +27,18 @@ void fwht_parallel(std::span<double> data, ThreadPool& pool);
 /// fixed-point FPGA pipeline model where all arithmetic is integral).
 void fwht_i64(std::span<long long> data);
 
+/// In-place batched FWHT over `lanes` interleaved transforms. `data` is
+/// lane-interleaved (AoSoA): node j of lane l lives at data[j * lanes + l],
+/// data.size() == n * lanes with n a power of two. Every lane undergoes
+/// exactly the butterfly schedule of fwht(), so per-lane results are
+/// bit-identical to the scalar transform; the batch layout only widens each
+/// butterfly to `lanes` contiguous doubles, which is what lets the kernel
+/// run one full SIMD register per node pair. Dispatches at runtime to the
+/// best available kernel (generic / AVX2 / AVX-512 / NEON — see
+/// common/simd.hpp); any lane count is accepted, multiples of the register
+/// width are the fast path.
+void fwht_batch(std::span<double> data, std::size_t lanes);
+
 /// True if n is a nonzero power of two.
 constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
