@@ -1,33 +1,101 @@
 #!/usr/bin/env bash
 # check.sh — the repo's verification gate.
 #
-# 1. Tier-1: configure + build + full ctest in build-check/.
-# 2. Sanitizers: rebuild the library and tests with AddressSanitizer and
-#    UndefinedBehaviorSanitizer (-DHTIMS_SANITIZE=ON) in build-asan/ and run
-#    the test suite again under them. This configuration also enables
-#    -DHTIMS_NATIVE=ON so the vectorized (batched SIMD) paths are compiled
-#    at the host's full ISA and checked for warnings/UB.
+# Four stages, all on by default, each individually skippable and each
+# reporting one PASS/FAIL line in the final summary:
 #
-# Usage: scripts/check.sh [--no-sanitize]
-set -euo pipefail
+#   tier1     configure + build + full ctest in build-check/ (the baseline
+#             configuration every PR must keep green).
+#   asan      rebuild and re-run the suite under AddressSanitizer + UBSan
+#             (-DHTIMS_SANITIZE=ON) in build-asan/, with -DHTIMS_NATIVE=ON
+#             so the batched SIMD paths compile at the host's full ISA.
+#   tsan      rebuild and re-run the suite under ThreadSanitizer
+#             (-DHTIMS_TSAN=ON) in build-tsan/. This is the race gate: the
+#             suite includes tests/test_race.cpp, which stresses the SPSC
+#             ring at capacity boundaries, parallel_for grain edges,
+#             exporter-vs-writer telemetry traffic, and hybrid start/stop
+#             under backpressure. TSan aborts the run on any report, so a
+#             green stage means zero races observed.
+#   lint      scripts/lint.sh: -Werror warning-clean build, clang-tidy when
+#             installed, and the repo-specific rules.
+#
+# Build trees are persistent (build-check/, build-asan/, build-tsan/,
+# build-lint/), so repeat runs share configure caches and only recompile
+# what changed.
+#
+# Usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--tier1-only]
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
-sanitize=1
-[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+run_asan=1 run_tsan=1 run_lint=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-sanitize) run_asan=0 ;;
+        --no-tsan) run_tsan=0 ;;
+        --no-lint) run_lint=0 ;;
+        --tier1-only) run_asan=0 run_tsan=0 run_lint=0 ;;
+        *) echo "usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--tier1-only]" >&2
+           exit 2 ;;
+    esac
+done
+
+declare -a summary
+fail=0
+stage() { # name status
+    summary+=("$(printf '%-6s %s' "$1" "$2")")
+    [[ "$2" == FAIL ]] && fail=1
+}
+
+build_and_test() { # build-dir cmake-args...
+    local dir="$1"
+    shift
+    cmake -B "$dir" -S . "$@" > /dev/null &&
+        cmake --build "$dir" -j "$jobs" &&
+        ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
 
 echo "== tier-1: build + ctest =="
-cmake -B build-check -S . > /dev/null
-cmake --build build-check -j "$jobs"
-ctest --test-dir build-check --output-on-failure -j "$jobs"
+if build_and_test build-check; then stage tier1 PASS; else stage tier1 FAIL; fi
 
-if [[ "$sanitize" == 1 ]]; then
+if [[ "$run_asan" == 1 ]]; then
     echo "== sanitizers: ASan + UBSan build + ctest =="
-    cmake -B build-asan -S . -DHTIMS_SANITIZE=ON -DHTIMS_NATIVE=ON \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-    cmake --build build-asan -j "$jobs"
-    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+    if build_and_test build-asan -DHTIMS_SANITIZE=ON -DHTIMS_NATIVE=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+        stage asan PASS
+    else
+        stage asan FAIL
+    fi
+else
+    stage asan "SKIP (--no-sanitize)"
 fi
 
-echo "== check.sh: all green =="
+if [[ "$run_tsan" == 1 ]]; then
+    echo "== tsan: ThreadSanitizer build + ctest (race gate) =="
+    # halt_on_error makes any race report fail its test immediately instead
+    # of letting a poisoned process keep running.
+    if TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+        build_and_test build-tsan -DHTIMS_TSAN=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+        stage tsan PASS
+    else
+        stage tsan FAIL
+    fi
+else
+    stage tsan "SKIP (--no-tsan)"
+fi
+
+if [[ "$run_lint" == 1 ]]; then
+    echo "== lint: scripts/lint.sh =="
+    if scripts/lint.sh; then stage lint PASS; else stage lint FAIL; fi
+else
+    stage lint "SKIP (--no-lint)"
+fi
+
+echo "== check.sh summary =="
+for line in "${summary[@]}"; do echo "  $line"; done
+if [[ "$fail" == 0 ]]; then
+    echo "== check.sh: all green =="
+fi
+exit "$fail"

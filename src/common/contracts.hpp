@@ -1,0 +1,99 @@
+// contracts.hpp — zero-cost contract/invariant macros for the hot paths.
+//
+// Three tiers, chosen by how much the check may cost at the call site:
+//
+//   HTIMS_CHECK(cond, "msg")   always on, in every build type. On failure
+//                              prints `file:line: CHECK failed: cond — msg`
+//                              to stderr and aborts. For cold-path invariants
+//                              (constructors, frame boundaries, shutdown)
+//                              whose cost is invisible and whose violation
+//                              means memory corruption is next.
+//
+//   HTIMS_DCHECK(cond, "msg")  compiled only in debug and sanitizer builds
+//                              (see HTIMS_DCHECK_ENABLED below); in release
+//                              it expands to nothing — not even an odr-use of
+//                              its operands. For per-element hot-loop checks
+//                              (ring indices, tile bounds, butterfly strides)
+//                              that would cost real throughput if always on.
+//
+//   HTIMS_ASSUME(cond)         checked like a DCHECK in debug/sanitizer
+//                              builds; in release it becomes an optimizer
+//                              hint (`__builtin_unreachable` on the false
+//                              branch) so the compiler can drop the bounds
+//                              re-derivation the invariant makes redundant.
+//                              Only for conditions *proved* elsewhere — an
+//                              ASSUME that can be false is instant UB.
+//
+// Relation to common/error.hpp: HTIMS_EXPECTS/HTIMS_ENSURES remain the
+// *API-boundary* contract — they throw typed exceptions the test suite and
+// callers can catch, which is right for validating caller-supplied
+// configuration. The macros here are the *internal* contract: a failure is a
+// library bug, there is no meaningful recovery, and the process should stop
+// at the first corrupted index rather than throw through code that never
+// expected it. abort() also cooperates with sanitizers and death tests.
+//
+// ODR note: everything here is macros plus one `inline` cold function, so
+// mixing TUs compiled with different HTIMS_DCHECK_ENABLED settings is safe —
+// the macros expand per-TU and nothing about the expansion participates in
+// the ABI (tests/test_contracts.cpp pins this down with a two-TU build).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// HTIMS_DCHECK_ENABLED: 1 in debug builds (no NDEBUG) and in any sanitizer
+// build (ASan/TSan define their own markers), 0 otherwise. Overridable from
+// the command line (-DHTIMS_DCHECK_ENABLED=1) to get checked release builds.
+#ifndef HTIMS_DCHECK_ENABLED
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HTIMS_DCHECK_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HTIMS_DCHECK_ENABLED 1
+#else
+#define HTIMS_DCHECK_ENABLED 0
+#endif
+#else
+#define HTIMS_DCHECK_ENABLED 0
+#endif
+#endif
+
+namespace htims::detail {
+
+// Cold, out-of-line-by-attribute failure path: the call site keeps only a
+// compare-and-branch; formatting lives behind it. fprintf (not iostreams) so
+// the message survives heap corruption and never allocates.
+[[noreturn]] __attribute__((cold, noinline)) inline void contract_fail(
+    const char* kind, const char* cond, const char* file, int line,
+    const char* msg) noexcept {
+    std::fprintf(stderr, "%s:%d: %s failed: %s%s%s\n", file, line, kind, cond,
+                 (msg != nullptr && msg[0] != '\0') ? " — " : "", msg ? msg : "");
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace htims::detail
+
+// The optional trailing argument must be a string literal; `"" __VA_ARGS__`
+// concatenates it with an empty literal (and is "" when omitted).
+#define HTIMS_CHECK(cond, ...)                                             \
+    (__builtin_expect(static_cast<bool>(cond), 1)                          \
+         ? void(0)                                                         \
+         : ::htims::detail::contract_fail("HTIMS_CHECK", #cond, __FILE__,  \
+                                          __LINE__, "" __VA_ARGS__))
+
+#if HTIMS_DCHECK_ENABLED
+#define HTIMS_DCHECK(cond, ...)                                            \
+    (__builtin_expect(static_cast<bool>(cond), 1)                          \
+         ? void(0)                                                         \
+         : ::htims::detail::contract_fail("HTIMS_DCHECK", #cond, __FILE__, \
+                                          __LINE__, "" __VA_ARGS__))
+#define HTIMS_ASSUME(cond)                                                 \
+    (__builtin_expect(static_cast<bool>(cond), 1)                          \
+         ? void(0)                                                         \
+         : ::htims::detail::contract_fail("HTIMS_ASSUME", #cond, __FILE__, \
+                                          __LINE__, ""))
+#else
+#define HTIMS_DCHECK(cond, ...) static_cast<void>(0)
+#define HTIMS_ASSUME(cond) ((cond) ? void(0) : __builtin_unreachable())
+#endif

@@ -143,7 +143,8 @@ public:
         if (p == 1.0) return n;
         if (n <= 64) {
             std::uint64_t k = 0;
-            for (std::uint64_t i = 0; i < n; ++i) k += bernoulli(p) ? 1 : 0;
+            for (std::uint64_t i = 0; i < n; ++i)
+                if (bernoulli(p)) ++k;
             return k;
         }
         const double mean = static_cast<double>(n) * p;

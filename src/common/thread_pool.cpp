@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -56,6 +57,7 @@ void ThreadPool::parallel_for_impl(std::size_t n, std::size_t grain, RangeBody b
     // coarse enough to amortize one dispatch.
     const std::size_t chunk = std::max(grain, (n + 4 * workers - 1) / (4 * workers));
     const std::size_t chunks = (n + chunk - 1) / chunk;
+    HTIMS_DCHECK(chunk >= 1 && chunk * chunks >= n, "chunking must cover [0, n)");
     if (workers <= 1 || chunks <= 1 || (auto_grain && n < 2 * workers)) {
         body(0, n);
         return;
@@ -104,6 +106,7 @@ void ThreadPool::worker_loop() {
         }
         {
             std::lock_guard lock(mutex_);
+            HTIMS_CHECK(in_flight_ > 0, "task completion without a matching submit");
             --in_flight_;
             if (in_flight_ == 0) cv_idle_.notify_all();
         }

@@ -21,6 +21,15 @@ namespace htims {
 
 /// Fixed-size worker pool. Tasks are std::function<void()>; wait_idle()
 /// provides the join point for fork-join use.
+///
+/// Ownership and shutdown rule: the destructor drains the queue (it runs
+/// every already-submitted task, then joins all workers), so a ThreadPool
+/// member must be declared *after* any state its tasks touch — members are
+/// destroyed in reverse declaration order, and the pool must die first.
+/// Submitting from another thread concurrently with destruction is a caller
+/// bug: there is no handshake that makes "submit vs. begin-shutdown" a race
+/// the pool could win. Fork-join callers (parallel_for) never see this —
+/// the call joins before returning.
 class ThreadPool {
 public:
     /// Create `threads` workers (defaults to hardware concurrency, min 1).

@@ -1,0 +1,52 @@
+// tsan.hpp — ThreadSanitizer detection and annotation helpers.
+//
+// The repo's policy is to *fix* races, not suppress them; this header exists
+// for the narrow residue where a race is intentional and correct by design
+// (e.g. telemetry's approximate cross-thread snapshot reads, where a torn or
+// stale value is an accepted part of the metric's contract). Annotating the
+// exact function in source — with a comment justifying it — beats an external
+// suppression file: the justification lives next to the code it excuses and
+// goes stale loudly when the code changes.
+//
+// Every macro here compiles to nothing outside TSan builds.
+#pragma once
+
+// HTIMS_TSAN_ENABLED: 1 when the TU is compiled with -fsanitize=thread.
+#if defined(__SANITIZE_THREAD__)
+#define HTIMS_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HTIMS_TSAN_ENABLED 1
+#else
+#define HTIMS_TSAN_ENABLED 0
+#endif
+#else
+#define HTIMS_TSAN_ENABLED 0
+#endif
+
+#if HTIMS_TSAN_ENABLED
+
+// Function attribute: TSan does not instrument the annotated function's
+// memory accesses. Use only on functions whose *entire* contract is an
+// approximate racy read, never to hide a race inside otherwise-synchronized
+// logic — and always with a comment saying why the race is benign.
+#define HTIMS_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+
+// Manual happens-before edge for synchronization TSan cannot see through
+// (e.g. handoffs proved by an external protocol rather than by an atomic it
+// watches). Pair a RELEASE on the publishing side with an ACQUIRE on the
+// observing side, keyed on the same address.
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#define HTIMS_TSAN_ACQUIRE(addr) __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+#define HTIMS_TSAN_RELEASE(addr) __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+
+#else
+
+#define HTIMS_NO_SANITIZE_THREAD
+#define HTIMS_TSAN_ACQUIRE(addr) static_cast<void>(0)
+#define HTIMS_TSAN_RELEASE(addr) static_cast<void>(0)
+
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::instrument {
@@ -15,6 +16,7 @@ Detector::Detector(const DetectorConfig& config) : config_(config) {
     if (config.adc_bits < 1 || config.adc_bits > 24)
         throw ConfigError("ADC bits must be in [1, 24]");
     full_scale_ = static_cast<double>((std::uint32_t{1} << config.adc_bits) - 1);
+    HTIMS_CHECK(full_scale_ >= 1.0, "ADC full scale covers at least one count");
 }
 
 double Detector::analog_sample(double expected_ions, Rng& rng) const {
@@ -100,6 +102,7 @@ void Detector::acquire_accumulated(std::span<const double> expected, std::size_t
         double v = amplitude + noise_sigma * rng.gaussian();
         if (v < 0.0) v = 0.0;
         if (config_.clip && v > cap) v = cap;
+        HTIMS_DCHECK(v >= 0.0, "accumulated sample is non-negative");
         out[i] = v;
     }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::instrument {
@@ -45,6 +46,12 @@ TrapFill IonFunnelTrap::accumulate(std::span<const double> currents,
         fill.ions[i] *= keep;
         fill.total_charges += fill.ions[i] * static_cast<double>(species[i].charge);
     }
+    // Physical invariant the saturation model must preserve: the released
+    // packet never exceeds the trap's charge capacity (modulo rounding).
+    HTIMS_DCHECK(fill.total_charges <= config_.capacity_charges * (1.0 + 1e-9),
+                 "released packet respects trap capacity");
+    HTIMS_DCHECK(fill.survival > 0.0 && fill.survival <= 1.0,
+                 "survival is a fraction");
     return fill;
 }
 

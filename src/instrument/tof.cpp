@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "instrument/constants.hpp"
 
@@ -32,6 +33,7 @@ double TofAnalyzer::bin_center(std::size_t bin) const {
 }
 
 std::size_t TofAnalyzer::bin_of(double mz) const {
+    HTIMS_DCHECK(bin_width_ > 0.0, "validated axis implies a positive bin width");
     if (mz <= config_.mz_min) return 0;
     const auto bin = static_cast<std::size_t>((mz - config_.mz_min) / bin_width_);
     return std::min(bin, config_.bins - 1);
@@ -79,6 +81,8 @@ void TofAnalyzer::deposit(const IonSpecies& ion, double ions, double mass_offset
         // Render +-4 sigma of the Gaussian into the binned axis.
         const std::size_t lo = bin_of(mz - 4.0 * sigma);
         const std::size_t hi = bin_of(mz + 4.0 * sigma);
+        HTIMS_DCHECK(lo <= hi && hi < config_.bins,
+                     "clamped render window stays inside the record");
         const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
         double weight_sum = 0.0;
         for (std::size_t b = lo; b <= hi; ++b) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transform/enhanced.hpp"
@@ -59,7 +60,10 @@ AcquisitionEngine::AcquisitionEngine(const instrument::DriftCellConfig& cell,
     } else {
         pulse_bins_.push_back(0);
     }
-    HTIMS_ENSURES(!pulse_bins_.empty());
+    // Internal invariant, not caller error: an m-sequence always has a
+    // rising edge, so an empty gate program means the PRS machinery broke.
+    HTIMS_CHECK(!pulse_bins_.empty(), "gate program has at least one pulse");
+    HTIMS_CHECK(layout_.drift_bin_width_s > 0.0, "drift bin width is positive");
 }
 
 void AcquisitionEngine::deposit_species(const instrument::IonSpecies& ion,
@@ -92,6 +96,8 @@ void AcquisitionEngine::deposit_species(const instrument::IonSpecies& ion,
         weights.push_back(w);
         weight_sum += w;
     }
+    HTIMS_DCHECK(weights.size() == static_cast<std::size_t>(hi - lo + 1),
+                 "one weight per rendered drift bin");
     if (weight_sum <= 0.0) return;
     for (long long b = lo; b <= hi; ++b) {
         const double w = weights[static_cast<std::size_t>(b - lo)] / weight_sum;
@@ -176,9 +182,11 @@ AcquisitionResult AcquisitionEngine::acquire(double start_time_s) {
 
     // Nominal (mean) release: defines the ground-truth packet and the
     // per-pulse weights.
+    HTIMS_DCHECK(fill_times.size() == pulse_bins_.size(), "one fill time per pulse");
     double mean_fill = 0.0;
     for (double f : fill_times) mean_fill += f;
     mean_fill /= static_cast<double>(fill_times.size());
+    HTIMS_DCHECK(mean_fill >= 0.0, "mean fill time cannot be negative");
 
     instrument::TrapFill nominal;
     if (trap_active) {

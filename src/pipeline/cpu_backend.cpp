@@ -1,5 +1,6 @@
 #include "pipeline/cpu_backend.hpp"
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
@@ -39,8 +40,10 @@ Frame CpuBackend::run(const Frame& raw, std::size_t lanes) {
 
     Frame out(layout_);
     WallTimer timer;
+    HTIMS_CHECK(lanes >= 1, "batch lane count must be at least 1");
     const std::size_t tiles = lanes > 1 ? layout_.mz_bins / lanes : 0;
     const std::size_t tail_begin = tiles * lanes;
+    HTIMS_DCHECK(tail_begin <= layout_.mz_bins, "tiles cover at most the frame");
     const bool trace_tiles = telemetry::kCompiledIn && tel.enabled();
     if (tiles > 0) {
         // Tile-granular: one grain = one L-lane decode, already far coarser

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transform/fwht.hpp"
@@ -36,6 +37,9 @@ FpgaPipeline::FpgaPipeline(const prs::OversampledPrs& sequence, const FrameLayou
         layout.cells() * static_cast<std::size_t>(config.accumulator_bits) / 8 +
         static_cast<std::size_t>(config.deconv_engines) * (n + 1) * sizeof(std::int64_t);
     report_.fits_bram = report_.bram_bytes_used <= config.bram_bytes;
+
+    HTIMS_CHECK(bins_.size() == layout.cells(), "one accumulator bin per frame cell");
+    HTIMS_CHECK(n > 0 && pad_.size() == n + 1, "deconvolution scratch sized to sequence");
 }
 
 void FpgaPipeline::begin_frame() {
@@ -51,6 +55,7 @@ void FpgaPipeline::begin_frame() {
 
 void FpgaPipeline::push_samples(std::span<const std::uint32_t> samples) {
     const std::size_t cells = bins_.size();
+    HTIMS_DCHECK(stream_pos_ < cells, "stream cursor within the frame");
     for (std::uint32_t s : samples) {
         bins_[stream_pos_].add(static_cast<std::int64_t>(s));
         if (++stream_pos_ == cells) stream_pos_ = 0;  // next period, same map
@@ -88,6 +93,9 @@ void FpgaPipeline::decode_channel_pulsed(std::size_t mz, Frame& out) {
     const std::size_t n = base_.length();
     const auto f = static_cast<std::size_t>(sequence_.factor());
     const std::size_t m = layout_.mz_bins;
+    // Hoisted bound for every bin index the phase loops touch below.
+    HTIMS_DCHECK(f >= 1 && mz < m && (f * (n - 1) + (f - 1)) * m + mz < bins_.size(),
+                 "channel decode reads inside the bin array");
     for (std::size_t r = 0; r < f; ++r) {
         for (std::size_t q = 0; q < n; ++q)
             chan_[q] = bins_[(f * q + r) * m + mz].value();
@@ -101,6 +109,9 @@ void FpgaPipeline::decode_channel_stretched(std::size_t mz, Frame& out) {
     const std::size_t n = base_.length();
     const auto f = static_cast<std::size_t>(sequence_.factor());
     const std::size_t m = layout_.mz_bins;
+    HTIMS_DCHECK(f >= 1 && mz < m && (f * (n - 1) + (f - 1)) * m + mz < bins_.size(),
+                 "channel decode reads inside the bin array");
+    HTIMS_DCHECK(zstack_.size() == f * n, "phase stack sized to F chip profiles");
 
     // Z_r in w-units (exact integers).
     for (std::size_t r = 0; r < f; ++r) {
@@ -182,6 +193,7 @@ Frame FpgaPipeline::end_frame() {
                                               config_.butterflies_per_cycle);
     std::uint64_t per_channel = per_phase * f;
     if (stretched) per_channel += 3 * f * n;
+    HTIMS_DCHECK(per_channel > 0, "cycle model must charge every channel");
     report_.deconv_cycles = per_channel * layout_.mz_bins /
                             static_cast<std::uint64_t>(config_.deconv_engines);
 
@@ -192,6 +204,7 @@ Frame FpgaPipeline::end_frame() {
                                ? static_cast<double>(frame_samples_) /
                                      static_cast<double>(layout_.cells())
                                : 0.0;
+    HTIMS_DCHECK(periods >= 0.0, "streamed period count cannot be negative");
     report_.cycle_budget = static_cast<std::uint64_t>(
         periods * layout_.period_s() * config_.clock_hz);
 

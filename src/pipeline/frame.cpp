@@ -1,7 +1,9 @@
 #include "pipeline/frame.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::pipeline {
@@ -9,16 +11,25 @@ namespace htims::pipeline {
 Frame::Frame(const FrameLayout& layout) : layout_(layout) {
     if (layout.drift_bins == 0 || layout.mz_bins == 0)
         throw ConfigError("frame layout must have nonzero dimensions");
+    HTIMS_CHECK(layout.mz_bins <= std::numeric_limits<std::size_t>::max() / layout.drift_bins,
+                "frame cell count overflows size_t");
     data_.assign(layout.cells(), 0.0);
+    HTIMS_CHECK(data_.size() == layout.cells(), "frame storage matches layout");
 }
 
+// at() is the per-cell accessor on the FPGA decode hot path: its bounds
+// check is a debug/sanitizer-tier contract (HTIMS_DCHECK), not a throwing
+// precondition — out-of-range indices here are library bugs, not caller
+// configuration errors, and the release build must not pay for the check.
 double& Frame::at(std::size_t drift, std::size_t mz) {
-    HTIMS_EXPECTS(drift < layout_.drift_bins && mz < layout_.mz_bins);
+    HTIMS_DCHECK(drift < layout_.drift_bins && mz < layout_.mz_bins,
+                 "frame cell index out of range");
     return data_[drift * layout_.mz_bins + mz];
 }
 
 double Frame::at(std::size_t drift, std::size_t mz) const {
-    HTIMS_EXPECTS(drift < layout_.drift_bins && mz < layout_.mz_bins);
+    HTIMS_DCHECK(drift < layout_.drift_bins && mz < layout_.mz_bins,
+                 "frame cell index out of range");
     return data_[drift * layout_.mz_bins + mz];
 }
 

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::pipeline {
@@ -88,6 +89,8 @@ Frame read_frame(std::istream& is) {
                        .mz_bins = static_cast<std::size_t>(header.mz_bins),
                        .drift_bin_width_s = header.drift_bin_width_s};
     Frame frame(layout);
+    HTIMS_DCHECK(frame.data().size() == layout.cells(),
+                 "decoded frame storage matches the validated header");
     const std::size_t payload_bytes = frame.data().size() * sizeof(double);
     is.read(reinterpret_cast<char*>(frame.data().data()),
             static_cast<std::streamsize>(payload_bytes));

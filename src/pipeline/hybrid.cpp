@@ -3,6 +3,7 @@
 #include <cmath>
 #include <thread>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -49,6 +50,8 @@ HybridReport HybridPipeline::run() {
     const std::size_t records_per_period = layout_.drift_bins;
     const std::uint64_t records_total = static_cast<std::uint64_t>(config_.frames) *
                                         config_.averages * records_per_period;
+    HTIMS_CHECK(record_len > 0 && records_per_period > 0, "stream layout is non-empty");
+    HTIMS_CHECK(records_total > 0, "a hybrid run streams at least one record");
 
     auto& tel = telemetry::Registry::global();
     static auto& c_records = tel.counter("hybrid.records");
@@ -184,6 +187,10 @@ HybridReport HybridPipeline::run() {
     }
 
     producer.join();
+    // Lossless-handoff postconditions: the consumer saw every record the
+    // producer sent (the ring drained) and closed every configured frame.
+    HTIMS_CHECK(ring.empty(), "stream fully drained at end of run");
+    HTIMS_CHECK(report.frames == config_.frames, "every configured frame was closed");
     report.wall_seconds = wall.seconds();
     report.producer_stall_seconds = producer_stall;
     report.samples = records_total * record_len;

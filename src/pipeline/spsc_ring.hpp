@@ -15,12 +15,20 @@
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::pipeline {
 
 /// Bounded SPSC queue of movable elements. Exactly one producer thread may
 /// call try_push and exactly one consumer thread may call try_pop.
+///
+/// Ownership and shutdown rule: the ring does not own either thread. The
+/// scope that created producer and consumer must join *both* before the ring
+/// is destroyed — destruction is not synchronized and a late try_push/try_pop
+/// is a use-after-free. (HybridPipeline::run() satisfies this by joining its
+/// producer before the ring leaves scope; the consumer is run()'s own
+/// thread.) The TSan gate's shutdown stress test pins this ordering down.
 template <typename T>
 class SpscRing {
 public:
@@ -28,6 +36,7 @@ public:
     explicit SpscRing(std::size_t capacity) {
         std::size_t cap = 2;
         while (cap < capacity) cap <<= 1;
+        HTIMS_CHECK(cap >= capacity && cap >= 2, "ring capacity overflowed size_t");
         mask_ = cap - 1;
         slots_.resize(cap);
     }
@@ -38,6 +47,9 @@ public:
     bool try_push(T&& value) {
         const std::size_t head = head_.load(std::memory_order_relaxed);
         const std::size_t tail = tail_.load(std::memory_order_acquire);
+        // tail can only trail head from the producer's view; a fill level
+        // past capacity means a second producer (or a torn shutdown).
+        HTIMS_DCHECK(head - tail <= mask_ + 1, "SPSC fill level exceeds capacity");
         if (head - tail > mask_) return false;
         slots_[head & mask_] = std::move(value);
         head_.store(head + 1, std::memory_order_release);
@@ -48,6 +60,7 @@ public:
     std::optional<T> try_pop() {
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         const std::size_t head = head_.load(std::memory_order_acquire);
+        HTIMS_DCHECK(head - tail <= mask_ + 1, "SPSC fill level exceeds capacity");
         if (tail == head) return std::nullopt;
         T value = std::move(slots_[tail & mask_]);
         tail_.store(tail + 1, std::memory_order_release);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/contracts.hpp"
+
 namespace htims::telemetry {
 
 namespace {
@@ -21,11 +23,15 @@ std::size_t LogHistogram::bucket_index(std::uint64_t value) noexcept {
     const unsigned k = static_cast<unsigned>(std::bit_width(value)) - 1;
     const std::uint64_t offset = (value >> (k - kSubBits)) - kSub;
     const std::size_t block = k - kSubBits + 1;
-    return block * static_cast<std::size_t>(kSub) +
-           static_cast<std::size_t>(offset);
+    const std::size_t index = block * static_cast<std::size_t>(kSub) +
+                              static_cast<std::size_t>(offset);
+    // observe() indexes the bucket array with this result unchecked.
+    HTIMS_DCHECK(index < kBuckets, "clamped value maps inside the bucket array");
+    return index;
 }
 
 std::uint64_t LogHistogram::bucket_lo(std::size_t index) noexcept {
+    HTIMS_DCHECK(index < kBuckets, "bucket bound query in range");
     const std::size_t block = index >> kSubBits;
     if (block == 0) return index;
     const std::uint64_t within = index & (kSub - 1);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::telemetry {
@@ -56,6 +58,8 @@ std::uint32_t Registry::intern(std::string_view stage) {
     std::lock_guard lock(mutex_);
     for (std::size_t i = 0; i < span_names_.size(); ++i)
         if (span_names_[i] == stage) return static_cast<std::uint32_t>(i);
+    HTIMS_CHECK(span_names_.size() < std::numeric_limits<std::uint32_t>::max(),
+                "stage-name id space exhausted");
     span_names_.emplace_back(stage);
     return static_cast<std::uint32_t>(span_names_.size() - 1);
 }

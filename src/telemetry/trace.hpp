@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "telemetry/metric.hpp"
 
 namespace htims::telemetry {
@@ -32,9 +33,19 @@ struct SpanEvent {
 };
 
 /// Bounded first-N span store; record() is wait-free.
+///
+/// A writer first reserves a slot with one fetch_add, fills it, then
+/// publishes it with a release store on the slot's ready flag; readers only
+/// copy slots whose flag they acquire. That makes events() safe to call
+/// *while spans are still being recorded* — a mid-run exporter sees every
+/// published span and simply skips the (at most one per writer) slot still
+/// being filled, instead of reading a torn SpanEvent. clear() is the only
+/// operation that still requires writer quiescence, since it retires every
+/// slot at once.
 class TraceBuffer {
 public:
-    explicit TraceBuffer(std::size_t capacity = 8192) : slots_(capacity) {}
+    explicit TraceBuffer(std::size_t capacity = 8192)
+        : slots_(capacity), ready_(capacity) {}
 
     TraceBuffer(const TraceBuffer&) = delete;
     TraceBuffer& operator=(const TraceBuffer&) = delete;
@@ -43,31 +54,44 @@ public:
 
     void record(const SpanEvent& ev) noexcept {
         const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
-        if (i < slots_.size())
+        if (i < slots_.size()) {
             slots_[i] = ev;
-        else
+            ready_[i].store(1, std::memory_order_release);
+        } else {
             dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
     }
 
-    /// Copy of the retained spans (call when writers are quiescent).
+    /// Copy of the published spans. Safe concurrently with record();
+    /// in-flight slots (reserved but not yet published) are skipped.
     std::vector<SpanEvent> events() const {
         const std::uint64_t n =
             std::min<std::uint64_t>(next_.load(std::memory_order_relaxed),
                                     slots_.size());
-        return {slots_.begin(), slots_.begin() + static_cast<std::ptrdiff_t>(n)};
+        std::vector<SpanEvent> out;
+        out.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            if (ready_[i].load(std::memory_order_acquire) != 0)
+                out.push_back(slots_[i]);
+        return out;
     }
 
     std::uint64_t dropped() const noexcept {
         return dropped_.load(std::memory_order_relaxed);
     }
 
+    /// Reset to empty. Requires writer quiescence (unlike events()).
     void clear() noexcept {
+        for (auto& r : ready_) r.store(0, std::memory_order_relaxed);
         next_.store(0, std::memory_order_relaxed);
         dropped_.store(0, std::memory_order_relaxed);
     }
 
 private:
     std::vector<SpanEvent> slots_;
+    // deque is unusable here (atomics are not movable); a plain vector of
+    // atomics is fine because the buffer never resizes after construction.
+    std::vector<std::atomic<std::uint8_t>> ready_;
     std::atomic<std::uint64_t> next_{0};
     std::atomic<std::uint64_t> dropped_{0};
 };
@@ -89,6 +113,7 @@ public:
 
     ~ScopedSpan() {
         if (buffer_ == nullptr) return;
+        HTIMS_DCHECK(thread_depth() > 0, "span close matches an open on this thread");
         --thread_depth();
         buffer_->record(SpanEvent{name_id_, thread_slot(), depth_, start_ns_,
                                   now_ns()});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "transform/fwht.hpp"
 
@@ -25,7 +26,14 @@ Deconvolver::Deconvolver(const prs::MSequence& seq)
         u[i] = v;
     }
     func_idx_.resize(n_);
-    for (std::size_t k = 0; k < n_; ++k) func_idx_[k] = u[(n_ - k) % n_];
+    for (std::size_t k = 0; k < n_; ++k) {
+        func_idx_[k] = u[(n_ - k) % n_];
+        // Both index maps land in [1, N]: the transform scratch is N+1 wide
+        // with node 0 reserved, and the decode loops index it unchecked.
+        HTIMS_DCHECK(func_idx_[k] >= 1 && func_idx_[k] <= n_,
+                     "gather index targets a transform node");
+    }
+    HTIMS_CHECK(n_ > 0 && state_idx_.size() == n_, "one LFSR state per chip");
 }
 
 void Deconvolver::decode(std::span<const double> y, std::span<double> x, Workspace& ws) const {
@@ -56,8 +64,11 @@ void Deconvolver::decode_batch(std::span<const double> y, std::span<double> x,
     // explicit zeroing before the transform.
     std::fill(ws.buf.begin(), ws.buf.begin() + static_cast<std::ptrdiff_t>(lanes), 0.0);
     double* buf = ws.buf.data();
-    for (std::size_t t = 0; t < n_; ++t)
+    for (std::size_t t = 0; t < n_; ++t) {
+        HTIMS_DCHECK(state_idx_[t] >= 1 && state_idx_[t] <= n_,
+                     "scatter index targets a transform node");
         std::copy_n(y.data() + t * lanes, lanes, buf + state_idx_[t] * lanes);
+    }
     fwht_batch(ws.buf, lanes);
     for (std::size_t k = 0; k < n_; ++k) {
         const double* w = buf + func_idx_[k] * lanes;

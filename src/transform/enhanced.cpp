@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace htims::transform {
@@ -12,7 +13,14 @@ EnhancedDeconvolver::EnhancedDeconvolver(const prs::OversampledPrs& prs)
       n_(prs.base().length()),
       fine_len_(prs.length()),
       factor_(prs.factor()),
-      mode_(prs.mode()) {}
+      mode_(prs.mode()) {
+    // PRS order/length coherence: the fine grid is exactly F interleaved
+    // copies of the base m-sequence, the assumption every phase loop below
+    // indexes by.
+    HTIMS_CHECK(factor_ >= 1, "oversampling factor is at least 1");
+    HTIMS_CHECK(fine_len_ == n_ * static_cast<std::size_t>(factor_),
+                "fine-grid length is factor x base length");
+}
 
 EnhancedDeconvolver::Workspace EnhancedDeconvolver::make_workspace() const {
     Workspace ws;
@@ -65,6 +73,10 @@ void EnhancedDeconvolver::decode_batch(std::span<const double> y, std::span<doub
         return;
     }
     const auto f = static_cast<std::size_t>(factor_);
+    HTIMS_DCHECK(ws.phase_in.size() == n_ * L && ws.phase_out.size() == n_ * L,
+                 "phase scratch sized to one chip profile per lane");
+    HTIMS_DCHECK(ws.z.size() == fine_len_ * L && ws.anchor.size() == L,
+                 "stretched scratch sized to the fine grid");
 
     if (mode_ == prs::GateMode::kPulsed) {
         // F independent simplex systems, each decoded L lanes wide.
@@ -120,6 +132,7 @@ void EnhancedDeconvolver::decode_batch(std::span<const double> y, std::span<doub
         }
         for (std::size_t l = 0; l < L; ++l) {
             const std::size_t q0 = ws.anchor[l];
+            HTIMS_DCHECK(q0 < n_, "lane anchor is a valid chip index");
             ws.phase_out[q0 * L + l] = 0.0;
             for (std::size_t s = 1; s < n_; ++s) {
                 const std::size_t q = (q0 + s) % n_;

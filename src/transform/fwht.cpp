@@ -1,5 +1,6 @@
 #include "transform/fwht.hpp"
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -9,6 +10,9 @@ namespace {
 
 template <typename T>
 void fwht_block(T* data, std::size_t n) {
+    // Callers validated n as a power of two; let the optimizer drop the
+    // partial-tail paths the loop bounds could otherwise imply.
+    HTIMS_ASSUME(n == 0 || (n & (n - 1)) == 0);
     for (std::size_t h = 1; h < n; h <<= 1) {
         for (std::size_t i = 0; i < n; i += h << 1) {
             for (std::size_t j = i; j < i + h; ++j) {
@@ -48,6 +52,8 @@ void fwht_parallel(std::span<double> data, ThreadPool& pool) {
     std::size_t parts = 1;
     while (parts < workers) parts <<= 1;
     const std::size_t block = n / parts;
+    HTIMS_DCHECK(block >= 1 && block * parts == n,
+                 "power-of-two split covers the transform exactly");
     pool.parallel_for(parts, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t p = lo; p < hi; ++p) fwht_block(data.data() + p * block, block);
     });

@@ -20,6 +20,7 @@
 
 #include <bit>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/simd.hpp"
 
@@ -197,14 +198,21 @@ void fwht_batch(std::span<double> data, std::size_t lanes) {
     HTIMS_EXPECTS(is_pow2(n));
     if (n == 1) return;
     const BatchKernel kern = select_kernel(lanes);
+    HTIMS_DCHECK(kern != nullptr, "dispatch always resolves to a kernel");
     const std::size_t block =
         std::bit_floor(kBlockBytes / (lanes * sizeof(double)));
     if (block < 2 || block >= n) {
         kern(data.data(), n, lanes, 1);
         return;
     }
+    // Tile-geometry invariants the blocked schedule relies on: a power-of-two
+    // block that divides n means the sub-transforms partition the buffer and
+    // the cross stages start exactly at stride h = block.
+    HTIMS_DCHECK(is_pow2(block), "cache block is a power of two");
+    HTIMS_DCHECK(n % block == 0, "blocks partition the transform");
     // Stages h < block, one L1-resident sub-transform per block...
     const std::size_t stride = block * lanes;
+    HTIMS_DCHECK(data.size() % stride == 0, "tiles partition the lane buffer");
     for (std::size_t b = 0; b < data.size(); b += stride)
         kern(data.data() + b, block, lanes, 1);
     // ...then the log2(n/block) cross-block stages over the full buffer.

@@ -1,0 +1,28 @@
+// test_contracts_odr.cpp — second translation unit for the ODR-safety test.
+//
+// This TU is compiled with HTIMS_DCHECK_ENABLED forced to 1 (see
+// tests/CMakeLists.txt) while test_contracts.cpp uses the build type's
+// default. Linking both into one binary proves the contract layer is
+// ODR-safe under mixed settings: the macros expand per-TU and the only
+// linkable entity (the inline cold contract_fail) has one identical
+// definition everywhere.
+#include "common/contracts.hpp"
+
+namespace htims_test_odr {
+
+bool odr_tu_dcheck_enabled() { return HTIMS_DCHECK_ENABLED != 0; }
+
+// Executes one HTIMS_CHECK and one HTIMS_DCHECK with passing conditions in
+// this TU's expansion; returns how many of the two conditions were evaluated.
+int odr_tu_run_contracts() {
+    int evaluated = 0;
+    auto tick = [&evaluated] {
+        ++evaluated;
+        return true;
+    };
+    HTIMS_CHECK(tick(), "always evaluated");
+    HTIMS_DCHECK(tick(), "evaluated only when this TU compiles DCHECKs in");
+    return evaluated;
+}
+
+}  // namespace htims_test_odr

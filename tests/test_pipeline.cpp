@@ -302,8 +302,11 @@ TEST(Acquisition, FixedFillWeightsAreUniform) {
     AcquisitionConfig acq;
     acq.sequence_order = 7;
     auto result = make_engine(acq).acquire();
-    for (double w : result.gate_weights)
-        if (w != 0.0) EXPECT_DOUBLE_EQ(w, 1.0);
+    for (double w : result.gate_weights) {
+        if (w != 0.0) {
+            EXPECT_DOUBLE_EQ(w, 1.0);
+        }
+    }
 }
 
 TEST(Acquisition, TruthTracesLandInsideFrame) {

@@ -1,0 +1,273 @@
+// test_race.cpp — concurrency stress tests for the TSan gate.
+//
+// Each test drives one shared-state component hard enough that an ordering
+// bug has a realistic chance of being interleaved into view, and asserts the
+// sequential outcome so the suite is also meaningful without TSan. The
+// check.sh `tsan` stage runs this binary (and the rest of the suite) under
+// `-fsanitize=thread`, where any unsynchronized access aborts the run —
+// these tests exist to give TSan the traffic patterns worth watching:
+// capacity-boundary ring handoff, grain-boundary parallel_for writes,
+// exporters snapshotting metrics mid-flight, and orchestrator start/stop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "pipeline/hybrid.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "prs/oversampled.hpp"
+#include "telemetry/registry.hpp"
+
+namespace {
+
+using htims::ThreadPool;
+using htims::pipeline::SpscRing;
+
+// ------------------------------------------------------------ SpscRing ----
+
+// Push a known sequence through a ring at a given capacity while a consumer
+// drains it; FIFO order and completeness prove neither side ever observed a
+// slot out of turn. Tiny capacities keep the ring permanently at the
+// full/empty boundaries where the acquire/release pairing actually matters.
+void spsc_roundtrip(std::size_t capacity, int count) {
+    SpscRing<int> ring(capacity);
+    std::vector<int> received;
+    received.reserve(static_cast<std::size_t>(count));
+
+    std::thread consumer([&] {
+        while (static_cast<int>(received.size()) < count) {
+            if (auto v = ring.try_pop())
+                received.push_back(*v);
+            else
+                std::this_thread::yield();
+        }
+    });
+    for (int i = 0; i < count; ++i) {
+        while (!ring.try_push(int{i})) std::this_thread::yield();
+    }
+    consumer.join();
+
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RaceSpscRing, MinimalCapacityStaysFifoUnderContention) {
+    spsc_roundtrip(2, 20000);
+}
+
+TEST(RaceSpscRing, NonPowerOfTwoCapacityStaysFifoUnderContention) {
+    spsc_roundtrip(3, 20000);  // rounds up to 4
+}
+
+TEST(RaceSpscRing, LargeCapacityStaysFifoUnderContention) {
+    spsc_roundtrip(256, 50000);
+}
+
+TEST(RaceSpscRing, MoveOnlyPayloadHandsOffCleanly) {
+    // unique_ptr payloads mean a duplicated or skipped slot shows up as a
+    // leak/double-free under ASan and a race under TSan.
+    SpscRing<std::unique_ptr<int>> ring(2);
+    constexpr int kCount = 5000;
+    std::int64_t sum = 0;
+    std::thread consumer([&] {
+        int seen = 0;
+        while (seen < kCount) {
+            if (auto v = ring.try_pop()) {
+                sum += **v;
+                ++seen;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    for (int i = 0; i < kCount; ++i) {
+        auto p = std::make_unique<int>(i);
+        while (!ring.try_push(std::move(p))) std::this_thread::yield();
+    }
+    consumer.join();
+    EXPECT_EQ(sum, std::int64_t{kCount} * (kCount - 1) / 2);
+}
+
+// ---------------------------------------------------------- ThreadPool ----
+
+TEST(RaceThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 10000;
+    // Grain choices: auto-balance, unit grain (maximum chunk churn through
+    // the atomic cursor), and a grain that does not divide kN (exercises the
+    // final short chunk).
+    for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7}}) {
+        std::vector<int> hits(kN, 0);
+        pool.parallel_for(
+            kN,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) ++hits[i];
+            },
+            grain);
+        for (std::size_t i = 0; i < kN; ++i)
+            ASSERT_EQ(hits[i], 1) << "index " << i << " grain " << grain;
+    }
+}
+
+TEST(RaceThreadPool, BackToBackParallelForsDoNotBleedAcrossJoins) {
+    // parallel_for joins before returning, so iteration k's writes must be
+    // visible to iteration k+1 without extra synchronization.
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 4096;
+    std::vector<std::uint64_t> v(kN, 0);
+    for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) ++v[i];
+        });
+    }
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(v[i], 50u);
+}
+
+TEST(RaceThreadPool, SubmitStormThenWaitIdleObservesEveryTask) {
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    constexpr int kTasks = 2000;
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(RaceThreadPool, DestructorDrainsPendingTasks) {
+    // The documented shutdown rule: destruction runs every already-submitted
+    // task, then joins. Repeated construct/submit/destroy cycles give TSan
+    // the begin-shutdown vs. worker-wakeup interleavings.
+    std::atomic<int> done{0};
+    constexpr int kCycles = 50;
+    constexpr int kTasksPerCycle = 64;
+    for (int c = 0; c < kCycles; ++c) {
+        ThreadPool pool(3);
+        for (int i = 0; i < kTasksPerCycle; ++i)
+            pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    EXPECT_EQ(done.load(), kCycles * kTasksPerCycle);
+}
+
+// ----------------------------------------------------------- Telemetry ----
+
+TEST(RaceTelemetry, ExporterSnapshotsWhileWritersAreHot) {
+    // Writers hammer one counter, one gauge, one histogram and the span
+    // trace while an exporter thread snapshots in a loop — the mid-run
+    // export pattern. Snapshots taken mid-flight may see partial totals but
+    // must never tear; the final quiescent snapshot must be exact.
+    htims::telemetry::Registry reg(4096);
+    auto& counter = reg.counter("race.counter");
+    auto& gauge = reg.gauge("race.gauge");
+    auto& histogram = reg.histogram("race.histogram");
+    const std::uint32_t stage = reg.intern("race.stage");
+
+    constexpr int kWriters = 4;
+    constexpr int kOpsPerWriter = 5000;
+    std::atomic<bool> stop_exporter{false};
+    std::atomic<std::uint64_t> snapshots_taken{0};
+
+    std::thread exporter([&] {
+        while (!stop_exporter.load(std::memory_order_relaxed)) {
+            const auto snap = reg.snapshot();
+            // Every span visible mid-run must already be fully published.
+            for (const auto& s : snap.spans) {
+                ASSERT_EQ(s.stage, "race.stage");
+                ASSERT_GE(s.end_ns, s.start_ns);
+            }
+            snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < kOpsPerWriter; ++i) {
+                auto span = reg.span(stage);
+                counter.add(1);
+                gauge.set(w);
+                histogram.observe(static_cast<std::uint64_t>(i));
+            }
+        });
+    }
+    for (auto& t : writers) t.join();
+    stop_exporter.store(true, std::memory_order_relaxed);
+    exporter.join();
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, std::int64_t{kWriters} * kOpsPerWriter);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].summary.count,
+              static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+    const std::uint64_t recorded = snap.spans.size() + snap.spans_dropped;
+    EXPECT_EQ(recorded, static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+    EXPECT_GE(snapshots_taken.load(), 1u);
+}
+
+TEST(RaceTelemetry, InterningRacesResolveToStableIds) {
+    htims::telemetry::Registry reg(64);
+    constexpr int kThreads = 4;
+    std::vector<std::uint32_t> ids(static_cast<std::size_t>(kThreads) * 2);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ids[static_cast<std::size_t>(t) * 2] = reg.intern("race.shared");
+            ids[static_cast<std::size_t>(t) * 2 + 1] =
+                reg.intern(t % 2 == 0 ? "race.even" : "race.odd");
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t t = 1; t < kThreads; ++t)
+        EXPECT_EQ(ids[t * 2], ids[0]) << "shared name must intern to one id";
+    EXPECT_EQ(reg.span_name(ids[0]), "race.shared");
+}
+
+// ------------------------------------------------------------- Hybrid ----
+
+// Orchestrator start/stop with a link so shallow that the producer is
+// backpressured on nearly every record — the stall path and the shutdown
+// join both run under load. Repeated runs exercise clean start/stop cycles.
+TEST(RaceHybrid, BackpressuredFpgaRunsStartAndStopCleanly) {
+    const htims::prs::OversampledPrs seq(5, 1, htims::prs::GateMode::kPulsed);
+    const htims::pipeline::FrameLayout layout{
+        .drift_bins = seq.length(), .mz_bins = 8, .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 2);
+    htims::pipeline::HybridConfig cfg;
+    cfg.backend = htims::pipeline::BackendKind::kFpga;
+    cfg.frames = 3;
+    cfg.averages = 2;
+    cfg.ring_records = 2;  // minimal link depth: permanent backpressure
+    for (int run = 0; run < 3; ++run) {
+        htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
+        const auto report = pipeline.run();
+        EXPECT_EQ(report.frames, 3u);
+        EXPECT_EQ(report.samples, 3u * 2u * layout.cells());
+    }
+}
+
+TEST(RaceHybrid, BackpressuredCpuRunsStartAndStopCleanly) {
+    const htims::prs::OversampledPrs seq(5, 1, htims::prs::GateMode::kPulsed);
+    const htims::pipeline::FrameLayout layout{
+        .drift_bins = seq.length(), .mz_bins = 8, .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    htims::pipeline::HybridConfig cfg;
+    cfg.backend = htims::pipeline::BackendKind::kCpu;
+    cfg.frames = 2;
+    cfg.cpu_threads = 2;
+    cfg.ring_records = 2;
+    for (int run = 0; run < 2; ++run) {
+        htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
+        const auto report = pipeline.run();
+        EXPECT_EQ(report.frames, 2u);
+    }
+}
+
+}  // namespace
