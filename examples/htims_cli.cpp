@@ -29,6 +29,8 @@ void usage() {
         "  --sample mix|digest   calibration mix or synthetic digest\n"
         "  --count N             digest size (default 100)\n"
         "  --seed S              acquisition RNG seed\n"
+        "  --faults SPEC         fault plan, e.g. seed=7,cpu.fail=0.01,\n"
+        "                        fpga.overrun@3 (see src/fault/fault.hpp)\n"
         "  --save PATH           write the deconvolved frame (binary)\n"
         "  --csv                 print the feature table as CSV\n"
         "  --telemetry           print the telemetry report after the run\n"
@@ -82,6 +84,15 @@ int main(int argc, char** argv) {
         } else if (arg == "--seed") {
             cfg.acquisition.seed = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
+        } else if (arg == "--faults" || arg.rfind("--faults=", 0) == 0) {
+            const std::string spec =
+                arg == "--faults" ? next() : arg.substr(std::string("--faults=").size());
+            try {
+                cfg.fault_plan = fault::FaultPlan::parse(spec);
+            } catch (const Error& e) {
+                std::cerr << "bad --faults spec: " << e.what() << "\n";
+                return 2;
+            }
         } else if (arg == "--save") {
             save_path = next();
         } else if (arg == "--csv") {
@@ -118,9 +129,30 @@ int main(int argc, char** argv) {
                   << format_double(100.0 * run.acquisition.utilization(), 1)
                   << "%, decode "
                   << format_double(1e3 * run.decode_seconds, 2) << " ms\n";
-        if (run.fpga)
+        if (run.fpga) {
             std::cout << "fpga: " << run.fpga->total_cycles() << " cycles, "
                       << run.fpga->accumulator_saturations << " saturations\n";
+            if (run.fpga->budget_overrun)
+                std::cout << "fpga: budget overrun — "
+                          << run.fpga->channels_decoded << "/"
+                          << run.deconvolved.mz_bins()
+                          << " channels decoded (partial frame)\n";
+        }
+        if (!cfg.fault_plan.empty()) {
+            std::cout << "faults: plan \"" << cfg.fault_plan.to_string()
+                      << "\" injected " << run.faults.total_injected()
+                      << " fault(s);";
+            for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+                if (run.faults.events[s] == 0) continue;
+                std::cout << " " << fault::site_name(static_cast<fault::Site>(s))
+                          << "=" << run.faults.injected[s] << "/"
+                          << run.faults.events[s];
+            }
+            std::cout << "\n";
+            if (run.cpu_task_retries > 0)
+                std::cout << "faults: " << run.cpu_task_retries
+                          << " transient CPU failures retried\n";
+        }
 
         const instrument::TofAnalyzer tof(cfg.tof);
         core::FeatureFindOptions opts;

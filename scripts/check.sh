@@ -18,25 +18,32 @@
 #             green stage means zero races observed.
 #   lint      scripts/lint.sh: -Werror warning-clean build, clang-tidy when
 #             installed, and the repo-specific rules.
+#   faults    degraded-mode gate in build-check/: `ctest -L faults` (the
+#             fault-injection test suite) plus examples/fault_drill, a
+#             hybrid run under a canned ~1%-corruption/overrun FaultPlan
+#             asserting zero contract aborts, exact injected-vs-recovered
+#             accounting, and seed-reproducible counts across two runs.
 #
 # Build trees are persistent (build-check/, build-asan/, build-tsan/,
 # build-lint/), so repeat runs share configure caches and only recompile
 # what changed.
 #
-# Usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--tier1-only]
+# Usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint]
+#                         [--no-faults] [--tier1-only]
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
-run_asan=1 run_tsan=1 run_lint=1
+run_asan=1 run_tsan=1 run_lint=1 run_faults=1
 for arg in "$@"; do
     case "$arg" in
         --no-sanitize) run_asan=0 ;;
         --no-tsan) run_tsan=0 ;;
         --no-lint) run_lint=0 ;;
-        --tier1-only) run_asan=0 run_tsan=0 run_lint=0 ;;
-        *) echo "usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--tier1-only]" >&2
+        --no-faults) run_faults=0 ;;
+        --tier1-only) run_asan=0 run_tsan=0 run_lint=0 run_faults=0 ;;
+        *) echo "usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--no-faults] [--tier1-only]" >&2
            exit 2 ;;
     esac
 done
@@ -91,6 +98,22 @@ if [[ "$run_lint" == 1 ]]; then
     if scripts/lint.sh; then stage lint PASS; else stage lint FAIL; fi
 else
     stage lint "SKIP (--no-lint)"
+fi
+
+if [[ "$run_faults" == 1 ]]; then
+    echo "== faults: degraded-mode gate (ctest -L faults + fault_drill) =="
+    # Reuses the tier-1 tree; a tier-1 failure already failed the gate, so
+    # the rebuild here is a no-op in the common case.
+    if cmake --build build-check -j "$jobs" \
+            --target test_faults fault_drill > /dev/null &&
+        ctest --test-dir build-check -L faults --output-on-failure -j "$jobs" &&
+        build-check/examples/fault_drill; then
+        stage faults PASS
+    else
+        stage faults FAIL
+    fi
+else
+    stage faults "SKIP (--no-faults)"
 fi
 
 echo "== check.sh summary =="

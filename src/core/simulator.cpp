@@ -9,7 +9,13 @@ Simulator::Simulator(const SimulatorConfig& config, instrument::SampleMixture sa
       engine_(config.cell, config.tof, config.detector, config.trap,
               instrument::EsiSource(std::move(sample), config.lc_mode),
               config.acquisition),
-      cpu_(engine_.sequence(), engine_.layout(), config.cpu_threads) {}
+      cpu_(engine_.sequence(), engine_.layout(), config.cpu_threads) {
+    if (!config_.fault_plan.empty()) {
+        faults_.emplace(config_.fault_plan);
+        cpu_.set_faults(&*faults_, config_.cpu_max_retries,
+                        config_.cpu_retry_backoff_s);
+    }
+}
 
 RunResult Simulator::run(double start_time_s) {
     auto& tel = telemetry::Registry::global();
@@ -30,6 +36,7 @@ RunResult Simulator::run(double start_time_s) {
     WallTimer timer;
     if (config_.backend == pipeline::BackendKind::kFpga) {
         pipeline::FpgaPipeline fpga(engine_.sequence(), engine_.layout(), config_.fpga);
+        fpga.set_faults(faults());
         fpga.begin_frame();
         // Stream the accumulated frame as one period of (wide) samples —
         // the accumulation already happened in the acquisition model.
@@ -42,6 +49,8 @@ RunResult Simulator::run(double start_time_s) {
         result.deconvolved = cpu_.deconvolve(result.acquisition.raw);
     }
     result.decode_seconds = timer.seconds();
+    result.cpu_task_retries = cpu_.task_retries();
+    if (faults_.has_value()) result.faults = faults_->counts();
     return result;
 }
 

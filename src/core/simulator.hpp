@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "core/metrics.hpp"
+#include "fault/fault.hpp"
 #include "instrument/detector.hpp"
 #include "instrument/ion_trap.hpp"
 #include "instrument/mobility.hpp"
@@ -34,6 +35,12 @@ struct SimulatorConfig {
     pipeline::FpgaConfig fpga{};
     std::size_t cpu_threads = 0;
     bool lc_mode = false;  ///< gate species currents by LC retention time
+
+    /// Deterministic fault injection; an empty plan (the default) keeps the
+    /// pipeline on the fault-free fast path.
+    fault::FaultPlan fault_plan{};
+    int cpu_max_retries = 4;            ///< retry budget for transient CPU faults
+    double cpu_retry_backoff_s = 50e-6; ///< initial retry backoff (doubles)
 };
 
 /// One simulated acquisition + processing round.
@@ -42,6 +49,8 @@ struct RunResult {
     pipeline::Frame deconvolved;
     double decode_seconds = 0.0;
     std::optional<pipeline::FpgaCycleReport> fpga;  ///< set for FPGA backend
+    fault::InjectionCounts faults{};  ///< injector counters after this run
+    std::uint64_t cpu_task_retries = 0;  ///< transient CPU faults retried
 
     /// Detection scoring against the acquisition's ground-truth traces.
     DetectionScore score(double min_snr = 3.0) const {
@@ -63,6 +72,12 @@ public:
     /// switch instrumentation off at runtime.
     telemetry::Registry& telemetry() const { return telemetry::Registry::global(); }
 
+    /// The fault injector built from config().fault_plan, or nullptr when
+    /// the plan is empty. Stable for the simulator's lifetime.
+    fault::FaultInjector* faults() {
+        return faults_.has_value() ? &*faults_ : nullptr;
+    }
+
     /// Acquire one frame at experiment time t and deconvolve it. In
     /// signal-averaging mode the raw frame already is the drift-domain
     /// record, so deconvolution is the identity.
@@ -70,6 +85,7 @@ public:
 
 private:
     SimulatorConfig config_;
+    std::optional<fault::FaultInjector> faults_;
     pipeline::AcquisitionEngine engine_;
     pipeline::CpuBackend cpu_;
 };

@@ -1,0 +1,219 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace htims::fault {
+
+namespace {
+
+constexpr std::array<std::string_view, kSiteCount> kSiteNames = {
+    "frame_io.corrupt", "frame_io.truncate", "link.jitter",
+    "link.overrun",     "fpga.overrun",      "cpu.fail",
+};
+
+/// Pure 64-bit mixer over (seed, site, event, salt): one splitmix64 step per
+/// word keeps the decision a stateless function of its inputs, which is what
+/// makes the injector reproducible under any thread interleaving.
+std::uint64_t mix(std::uint64_t seed, std::size_t site, std::uint64_t event,
+                  std::uint32_t salt) {
+    SplitMix64 sm(seed);
+    std::uint64_t h = sm.next();
+    h ^= SplitMix64(0xA24BAED4963EE407ULL * (site + 1)).next();
+    h ^= SplitMix64(0x9FB21C651E98DF25ULL ^ event).next();
+    if (salt != 0) h ^= SplitMix64(0xD1B54A32D192ED03ULL ^ salt).next();
+    return SplitMix64(h).next();
+}
+
+std::uint64_t probability_threshold(double p) {
+    if (p <= 0.0) return 0;
+    if (p >= 1.0) return ~0ULL;
+    // p scaled to the u64 range; the decision is `mix(...) < threshold`.
+    return static_cast<std::uint64_t>(std::ldexp(p, 64));
+}
+
+double parse_probability(std::string_view site, std::string_view text) {
+    char* end = nullptr;
+    const std::string copy(text);
+    const double p = std::strtod(copy.c_str(), &end);
+    if (end == copy.c_str() || *end != '\0' || !(p >= 0.0) || p > 1.0)
+        throw ConfigError("fault spec: probability for '" + std::string(site) +
+                          "' must be in [0, 1], got '" + copy + "'");
+    return p;
+}
+
+std::uint64_t parse_u64(std::string_view what, std::string_view text) {
+    char* end = nullptr;
+    const std::string copy(text);
+    const unsigned long long v = std::strtoull(copy.c_str(), &end, 10);
+    if (end == copy.c_str() || *end != '\0')
+        throw ConfigError("fault spec: bad integer for '" + std::string(what) +
+                          "': '" + copy + "'");
+    return v;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+    return s;
+}
+
+}  // namespace
+
+std::string_view site_name(Site site) {
+    const auto i = static_cast<std::size_t>(site);
+    HTIMS_CHECK(i < kSiteCount, "fault site enumerator in range");
+    return kSiteNames[i];
+}
+
+Site site_from_name(std::string_view name) {
+    for (std::size_t i = 0; i < kSiteCount; ++i)
+        if (kSiteNames[i] == name) return static_cast<Site>(i);
+    throw ConfigError("fault spec: unknown site '" + std::string(name) + "'");
+}
+
+bool FaultPlan::empty() const {
+    return std::none_of(sites.begin(), sites.end(),
+                        [](const SiteSpec& s) { return s.active(); });
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+    FaultPlan plan;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string_view clause = trim(rest.substr(0, comma));
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        if (clause.empty()) continue;
+
+        const std::size_t at = clause.find('@');
+        const std::size_t eq = clause.find('=');
+        if (at != std::string_view::npos && (eq == std::string_view::npos || at < eq)) {
+            // <site>@i1[:i2...]
+            const Site s = site_from_name(trim(clause.substr(0, at)));
+            std::string_view list = clause.substr(at + 1);
+            auto& sched = plan.site(s).schedule;
+            while (!list.empty()) {
+                const std::size_t colon = list.find(':');
+                sched.push_back(parse_u64(site_name(s), trim(list.substr(0, colon))));
+                list = colon == std::string_view::npos ? std::string_view{}
+                                                       : list.substr(colon + 1);
+            }
+            std::sort(sched.begin(), sched.end());
+            sched.erase(std::unique(sched.begin(), sched.end()), sched.end());
+        } else if (eq != std::string_view::npos) {
+            const std::string_view key = trim(clause.substr(0, eq));
+            const std::string_view value = trim(clause.substr(eq + 1));
+            if (key == "seed") {
+                plan.seed = parse_u64("seed", value);
+            } else {
+                const Site s = site_from_name(key);
+                plan.site(s).probability = parse_probability(key, value);
+            }
+        } else {
+            throw ConfigError("fault spec: clause '" + std::string(clause) +
+                              "' is neither key=value nor site@indices");
+        }
+    }
+    return plan;
+}
+
+std::string FaultPlan::to_string() const {
+    std::string out = "seed=" + std::to_string(seed);
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        const SiteSpec& s = sites[i];
+        const std::string name(kSiteNames[i]);
+        if (s.probability > 0.0) {
+            char buf[48];
+            std::snprintf(buf, sizeof buf, "%.17g", s.probability);
+            out += "," + name + "=" + buf;
+        }
+        if (!s.schedule.empty()) {
+            out += "," + name + "@";
+            for (std::size_t k = 0; k < s.schedule.size(); ++k) {
+                if (k > 0) out += ":";
+                out += std::to_string(s.schedule[k]);
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t InjectionCounts::total_injected() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t v : injected) total += v;
+    return total;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        auto& sched = plan_.sites[i].schedule;
+        std::sort(sched.begin(), sched.end());
+        thresholds_[i] = probability_threshold(plan_.sites[i].probability);
+    }
+}
+
+bool FaultInjector::fires_at(Site site, std::uint64_t event) const {
+    const auto i = static_cast<std::size_t>(site);
+    HTIMS_CHECK(i < kSiteCount, "fault site enumerator in range");
+    const SiteSpec& spec = plan_.sites[i];
+    if (!spec.schedule.empty() &&
+        std::binary_search(spec.schedule.begin(), spec.schedule.end(), event))
+        return true;
+    const std::uint64_t threshold = thresholds_[i];
+    if (threshold == 0) return false;
+    if (threshold == ~0ULL) return true;
+    return mix(plan_.seed, i, event, /*salt=*/0) < threshold;
+}
+
+bool FaultInjector::should_fire(Site site) { return decide(site).fire; }
+
+FaultInjector::Decision FaultInjector::decide(Site site) {
+    const auto i = static_cast<std::size_t>(site);
+    const std::uint64_t event =
+        events_[i].fetch_add(1, std::memory_order_relaxed);
+    const bool fire = fires_at(site, event);
+    if (fire) injected_[i].fetch_add(1, std::memory_order_relaxed);
+    return Decision{fire, event};
+}
+
+std::uint64_t FaultInjector::draw_below(Site site, std::uint64_t event,
+                                        std::uint64_t n, std::uint32_t salt) const {
+    HTIMS_EXPECTS(n >= 1);
+    // A full xoshiro stream seeded from the pure mix gives an unbiased
+    // Lemire draw while staying a function of (seed, site, event, salt).
+    Rng rng(mix(plan_.seed, static_cast<std::size_t>(site), event, salt ^ 0x5A5A5A5Au));
+    return rng.below(n);
+}
+
+std::uint64_t FaultInjector::events(Site site) const {
+    return events_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected(Site site) const {
+    return injected_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+InjectionCounts FaultInjector::counts() const {
+    InjectionCounts c;
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        c.events[i] = events_[i].load(std::memory_order_relaxed);
+        c.injected[i] = injected_[i].load(std::memory_order_relaxed);
+    }
+    return c;
+}
+
+void FaultInjector::reset() {
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        events_[i].store(0, std::memory_order_relaxed);
+        injected_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace htims::fault

@@ -1,0 +1,150 @@
+// fault.hpp — deterministic, seedable fault injection for the pipeline.
+//
+// The paper's hybrid node streams detector data continuously: a real
+// LC-IMS-TOF run cannot abort mid-gradient because one frame arrived corrupt
+// or the link briefly outran the decoder. The degraded-mode policies that
+// make those events survivable (ring drop policies, frame_io skip-and-resync,
+// bounded CPU-task retry, FPGA partial-frame overrun) need to be *testable
+// deterministically* — that is this layer's job.
+//
+// Design:
+//
+//  * A FaultPlan names, per injection site, a Bernoulli probability and/or an
+//    explicit schedule of event indices. Plans parse from a compact spec
+//    string (the `htims_cli --faults=` grammar, see FaultPlan::parse).
+//  * A FaultInjector evaluates the plan. The decision for event k at site s
+//    is a *pure function* of (seed, site, event index) — no shared RNG
+//    stream — so the fault pattern is reproducible from the single seed
+//    regardless of thread interleaving, and two runs of the same plan over
+//    the same event sequence inject byte-for-byte identical faults.
+//  * Each site keeps atomic event/injected counters; Counts snapshots them
+//    for run reports ("injected vs recovered" accounting).
+//
+// The fault layer is a leaf: it depends only on src/common. Pipeline stages
+// hold a FaultInjector* (null = fault-free, zero overhead beyond one branch).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htims::fault {
+
+/// Injection sites, one per hook in the pipeline.
+enum class Site : std::size_t {
+    kFrameCorrupt = 0,  ///< frame_io: flip one byte of a serialized frame
+    kFrameTruncate,     ///< frame_io: cut a serialized frame short
+    kLinkJitter,        ///< hybrid producer: delay before pushing a record
+    kLinkOverrun,       ///< hybrid producer: record arrives at a "full" link
+    kFpgaOverrun,       ///< fpga: cycle budget exhausted -> partial frame
+    kCpuFault,          ///< cpu backend: transient decode-task failure
+};
+inline constexpr std::size_t kSiteCount = 6;
+
+/// Canonical dotted name of a site ("frame_io.corrupt", "link.overrun", ...).
+std::string_view site_name(Site site);
+
+/// Inverse of site_name; throws ConfigError for an unknown name.
+Site site_from_name(std::string_view name);
+
+/// Per-site fault specification.
+struct SiteSpec {
+    double probability = 0.0;             ///< Bernoulli chance per event
+    std::vector<std::uint64_t> schedule;  ///< fire at these event indices too
+
+    bool active() const { return probability > 0.0 || !schedule.empty(); }
+};
+
+/// A complete, serializable fault plan: one RNG seed plus one spec per site.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+    std::array<SiteSpec, kSiteCount> sites{};
+
+    SiteSpec& site(Site s) { return sites[static_cast<std::size_t>(s)]; }
+    const SiteSpec& site(Site s) const { return sites[static_cast<std::size_t>(s)]; }
+
+    /// True when no site injects anything.
+    bool empty() const;
+
+    /// Parse the CLI spec grammar: comma-separated clauses, each either
+    ///   seed=<u64>                  the plan seed
+    ///   <site>=<prob>               Bernoulli probability in [0, 1]
+    ///   <site>@<i>[:<i>...]         scheduled event indices
+    /// Sites: frame_io.corrupt, frame_io.truncate, link.jitter,
+    /// link.overrun, fpga.overrun, cpu.fail. Example:
+    ///   "seed=42,frame_io.corrupt=0.01,link.overrun=0.01,cpu.fail@3:17"
+    /// Throws ConfigError on malformed input.
+    static FaultPlan parse(std::string_view spec);
+
+    /// Round-trippable spec string (parse(to_string()) == *this).
+    std::string to_string() const;
+};
+
+/// Snapshot of injector activity, plain data for run reports.
+struct InjectionCounts {
+    std::array<std::uint64_t, kSiteCount> events{};    ///< decisions taken
+    std::array<std::uint64_t, kSiteCount> injected{};  ///< faults fired
+
+    std::uint64_t events_at(Site s) const { return events[static_cast<std::size_t>(s)]; }
+    std::uint64_t injected_at(Site s) const {
+        return injected[static_cast<std::size_t>(s)];
+    }
+    std::uint64_t total_injected() const;
+
+    bool operator==(const InjectionCounts&) const = default;
+};
+
+/// Evaluates a FaultPlan. Thread-safe: decisions are pure functions of
+/// (seed, site, event) and the per-site counters are atomic, so concurrent
+/// sites (producer vs consumer threads) stay independent and reproducible.
+class FaultInjector {
+public:
+    explicit FaultInjector(FaultPlan plan);
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /// Decide the next event at `site`: advances the site's event counter
+    /// and returns whether the fault fires (counted when it does).
+    bool should_fire(Site site);
+
+    /// One decision with its event index attached — callers that need
+    /// follow-up draws (which byte to corrupt, where to truncate) key them
+    /// off the same event via draw_below(site, decision.event, ...).
+    struct Decision {
+        bool fire = false;
+        std::uint64_t event = 0;
+    };
+    Decision decide(Site site);
+
+    /// Pure decision for a specific event index; no counters touched.
+    /// should_fire(s) == fires_at(s, <current event index>).
+    bool fires_at(Site site, std::uint64_t event) const;
+
+    /// Deterministic uniform draw in [0, n) tied to (site, event, salt) —
+    /// used to pick *which* byte to corrupt, *where* to truncate, etc.
+    /// Pure; requires n >= 1.
+    std::uint64_t draw_below(Site site, std::uint64_t event, std::uint64_t n,
+                             std::uint32_t salt = 0) const;
+
+    /// Events examined / faults fired at one site so far.
+    std::uint64_t events(Site site) const;
+    std::uint64_t injected(Site site) const;
+
+    /// Point-in-time snapshot of all counters.
+    InjectionCounts counts() const;
+
+    /// Zero the counters (the plan is untouched); a fresh run of the same
+    /// event sequence then reproduces the same faults.
+    void reset();
+
+private:
+    FaultPlan plan_;
+    std::array<std::uint64_t, kSiteCount> thresholds_{};  ///< p as a u64 scale
+    std::array<std::atomic<std::uint64_t>, kSiteCount> events_{};
+    std::array<std::atomic<std::uint64_t>, kSiteCount> injected_{};
+};
+
+}  // namespace htims::fault

@@ -1,9 +1,13 @@
 #include "pipeline/cpu_backend.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace htims::pipeline {
@@ -19,7 +23,38 @@ void CpuBackend::set_batch_lanes(std::size_t lanes) {
     lanes_ = lanes == 0 ? htims::batch_lanes() : lanes;
 }
 
-Frame CpuBackend::deconvolve(const Frame& raw) { return run(raw, lanes_); }
+void CpuBackend::set_faults(fault::FaultInjector* faults, int max_retries,
+                            double backoff_s) {
+    HTIMS_EXPECTS(max_retries >= 0);
+    HTIMS_EXPECTS(backoff_s >= 0.0);
+    faults_ = faults;
+    max_retries_ = max_retries;
+    backoff_s_ = backoff_s;
+}
+
+Frame CpuBackend::deconvolve(const Frame& raw) {
+    if (faults_ == nullptr) return run(raw, lanes_);
+    // A fired kCpuFault models a transient task failure (lost worker, ECC
+    // retry, preempted node): the attempt is abandoned and retried after an
+    // exponential backoff. The injector's per-site event counter advances
+    // per attempt, so a persistent fault plan (probability 1.0) exhausts the
+    // retry budget deterministically.
+    static auto& c_retries =
+        telemetry::Registry::global().counter("cpu.task_retries");
+    int attempt = 0;
+    while (faults_->should_fire(fault::Site::kCpuFault)) {
+        if (attempt >= max_retries_)
+            throw Error("cpu backend: persistent task failure after " +
+                        std::to_string(attempt) + " retries");
+        ++attempt;
+        ++task_retries_;
+        c_retries.increment();
+        const double backoff = backoff_s_ * static_cast<double>(1 << (attempt - 1));
+        if (backoff > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    return run(raw, lanes_);
+}
 
 Frame CpuBackend::deconvolve_scalar(const Frame& raw) { return run(raw, 1); }
 

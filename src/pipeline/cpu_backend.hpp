@@ -20,11 +20,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/thread_pool.hpp"
 #include "pipeline/frame.hpp"
 #include "prs/oversampled.hpp"
 #include "transform/enhanced.hpp"
+
+namespace htims::fault {
+class FaultInjector;
+}
 
 namespace htims::pipeline {
 
@@ -43,6 +48,17 @@ public:
     /// Override the tile width: 0 restores the machine default
     /// (htims::batch_lanes()), 1 forces the scalar path.
     void set_batch_lanes(std::size_t lanes);
+
+    /// Attach a fault injector for transient decode-task failures
+    /// (fault::Site::kCpuFault). A firing fault makes the next deconvolve()
+    /// attempt fail transiently; the backend retries with exponential
+    /// backoff up to `max_retries` times (counted in cpu.task_retries)
+    /// before giving up with htims::Error. Pass nullptr to detach.
+    void set_faults(fault::FaultInjector* faults, int max_retries = 4,
+                    double backoff_s = 50e-6);
+
+    /// Transient task failures retried since construction.
+    std::uint64_t task_retries() const { return task_retries_; }
 
     /// Deconvolve every m/z channel of `raw`; returns the drift-domain
     /// frame. Uses the batched tile path unless batch_lanes() == 1.
@@ -75,6 +91,10 @@ private:
     double last_seconds_ = 0.0;
     double total_seconds_ = 0.0;
     std::size_t total_frames_ = 0;
+    fault::FaultInjector* faults_ = nullptr;
+    int max_retries_ = 4;
+    double backoff_s_ = 50e-6;
+    std::uint64_t task_retries_ = 0;
 };
 
 }  // namespace htims::pipeline

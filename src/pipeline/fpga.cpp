@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transform/fwht.hpp"
 
@@ -173,7 +174,24 @@ Frame FpgaPipeline::end_frame() {
     const auto f = static_cast<std::size_t>(sequence_.factor());
     const bool stretched = sequence_.mode() == prs::GateMode::kStretched && f > 1;
 
-    for (std::size_t mz = 0; mz < layout_.mz_bins; ++mz) {
+    // A fired kFpgaOverrun models the decode window closing early: the
+    // engine emits the frame with only the first `channels` m/z channels
+    // decoded (the rest stay zero) rather than stalling capture of the next
+    // frame. Cycle accounting below charges only the decoded channels.
+    std::size_t channels = layout_.mz_bins;
+    if (faults_ != nullptr) {
+        const auto overrun = faults_->decide(fault::Site::kFpgaOverrun);
+        if (overrun.fire) {
+            channels = static_cast<std::size_t>(faults_->draw_below(
+                fault::Site::kFpgaOverrun, overrun.event, layout_.mz_bins));
+            report_.budget_overrun = true;
+            static auto& c_overruns = tel.counter("fpga.budget_overruns");
+            c_overruns.increment();
+        }
+    }
+    report_.channels_decoded = channels;
+
+    for (std::size_t mz = 0; mz < channels; ++mz) {
         if (stretched)
             decode_channel_stretched(mz, out);
         else
@@ -194,7 +212,7 @@ Frame FpgaPipeline::end_frame() {
     std::uint64_t per_channel = per_phase * f;
     if (stretched) per_channel += 3 * f * n;
     HTIMS_DCHECK(per_channel > 0, "cycle model must charge every channel");
-    report_.deconv_cycles = per_channel * layout_.mz_bins /
+    report_.deconv_cycles = per_channel * channels /
                             static_cast<std::uint64_t>(config_.deconv_engines);
 
     // Real-time cycle budget: the streamed periods occupy wall time

@@ -32,6 +32,10 @@
 #include "prs/oversampled.hpp"
 #include "transform/deconvolver.hpp"
 
+namespace htims::fault {
+class FaultInjector;
+}
+
 namespace htims::pipeline {
 
 /// Hardware-model parameters.
@@ -54,6 +58,9 @@ struct FpgaCycleReport {
     std::uint64_t accumulator_saturations = 0;
     std::size_t bram_bytes_used = 0;
     bool fits_bram = true;
+    bool budget_overrun = false;       ///< cycle budget ran out mid-decode
+    std::size_t channels_decoded = 0;  ///< m/z channels actually decoded;
+                                       ///< < mz_bins only on budget_overrun
 
     std::uint64_t total_cycles() const { return capture_cycles + deconv_cycles; }
     double seconds(double clock_hz) const {
@@ -93,6 +100,13 @@ public:
     /// Accounting for the frame finished by the last end_frame().
     const FpgaCycleReport& report() const { return report_; }
 
+    /// Attach a fault injector. A fired fault::Site::kFpgaOverrun models a
+    /// cycle-budget overrun: end_frame() stops decoding at a plan-determined
+    /// channel, leaving the remaining channels zero (a *partial* frame,
+    /// flagged in the report and counted as fpga.budget_overruns). Pass
+    /// nullptr to detach.
+    void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
     /// Samples/second the model sustains at the configured clock, for a
     /// frame of this layout processed `averages` periods per frame.
     double sustained_sample_rate(std::size_t averages) const;
@@ -111,6 +125,7 @@ private:
     FpgaConfig config_;
     int order_;
 
+    fault::FaultInjector* faults_ = nullptr;
     std::vector<SaturatingAccumulator> bins_;
     std::size_t stream_pos_ = 0;
     std::uint64_t frame_samples_ = 0;  ///< samples streamed into this frame

@@ -1,23 +1,29 @@
 #include "pipeline/frame_io.hpp"
 
 #include <array>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace htims::pipeline {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x48544D53;  // "HTMS"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;         // v2: header_crc added
 
 // 64-byte fixed header, all fields little-endian. Explicitly packed by
-// construction (only fixed-width members, naturally aligned).
+// construction (only fixed-width members, naturally aligned). header_crc is
+// the CRC-32 of the header bytes with the header_crc field zeroed, so a flip
+// in *any* header byte — including reserved padding — is detectable.
 struct Header {
     std::uint32_t magic;
     std::uint32_t version;
@@ -25,7 +31,7 @@ struct Header {
     std::uint64_t mz_bins;
     double drift_bin_width_s;
     std::uint32_t payload_crc;
-    std::uint32_t reserved0;
+    std::uint32_t header_crc;
     std::uint64_t reserved1[3];
 };
 static_assert(sizeof(Header) == 64, "frame header must be 64 bytes");
@@ -44,6 +50,57 @@ const std::array<std::uint32_t, 256>& crc_table() {
     return table;
 }
 
+std::uint32_t header_crc_of(Header header) {
+    header.header_crc = 0;
+    return crc32(&header, sizeof(header));
+}
+
+Header make_header(const Frame& frame) {
+    const auto payload = frame.data();
+    Header header{};
+    header.magic = kMagic;
+    header.version = kVersion;
+    header.drift_bins = frame.layout().drift_bins;
+    header.mz_bins = frame.layout().mz_bins;
+    header.drift_bin_width_s = frame.layout().drift_bin_width_s;
+    header.payload_crc = crc32(payload.data(), payload.size() * sizeof(double));
+    header.header_crc = header_crc_of(header);
+    return header;
+}
+
+/// Validate a header and decode its payload from `bytes + sizeof(Header)`.
+/// On success returns the frame; on failure throws htims::Error with the
+/// specific diagnostic. `avail` is the byte count from the header onward.
+Frame parse_frame(const char* bytes, std::size_t avail, std::size_t* consumed) {
+    if (avail < sizeof(Header)) throw Error("frame read failed: truncated header");
+    Header header{};
+    std::memcpy(&header, bytes, sizeof(header));
+    if (header.magic != kMagic) throw Error("frame read failed: bad magic");
+    if (header.version != kVersion)
+        throw Error("frame read failed: unsupported version " +
+                    std::to_string(header.version));
+    if (header_crc_of(header) != header.header_crc)
+        throw Error("frame read failed: header CRC mismatch");
+    if (header.drift_bins == 0 || header.mz_bins == 0 ||
+        header.drift_bins > (1u << 24) || header.mz_bins > (1u << 24))
+        throw Error("frame read failed: implausible layout");
+
+    FrameLayout layout{.drift_bins = static_cast<std::size_t>(header.drift_bins),
+                       .mz_bins = static_cast<std::size_t>(header.mz_bins),
+                       .drift_bin_width_s = header.drift_bin_width_s};
+    Frame frame(layout);
+    HTIMS_DCHECK(frame.data().size() == layout.cells(),
+                 "decoded frame storage matches the validated header");
+    const std::size_t payload_bytes = frame.data().size() * sizeof(double);
+    if (avail - sizeof(Header) < payload_bytes)
+        throw Error("frame read failed: truncated payload");
+    std::memcpy(frame.data().data(), bytes + sizeof(Header), payload_bytes);
+    if (crc32(frame.data().data(), payload_bytes) != header.payload_crc)
+        throw Error("frame read failed: payload CRC mismatch");
+    *consumed = sizeof(Header) + payload_bytes;
+    return frame;
+}
+
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t bytes) {
@@ -55,32 +112,80 @@ std::uint32_t crc32(const void* data, std::size_t bytes) {
     return crc ^ 0xFFFFFFFFu;
 }
 
+std::uint64_t fnv1a64(const void* data, std::size_t bytes, std::uint64_t seed) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::uint64_t frame_digest(const Frame& frame, double quantization) {
+    HTIMS_EXPECTS(quantization > 0.0);
+    const std::uint64_t dims[2] = {frame.layout().drift_bins,
+                                   frame.layout().mz_bins};
+    std::uint64_t h = fnv1a64(dims, sizeof(dims));
+    for (double v : frame.data()) {
+        const std::int64_t q = std::llround(v * quantization);
+        h = fnv1a64(&q, sizeof(q), h);
+    }
+    return h;
+}
+
 void write_frame(std::ostream& os, const Frame& frame) {
+    const Header header = make_header(frame);
     const auto payload = frame.data();
-    const std::size_t payload_bytes = payload.size() * sizeof(double);
-
-    Header header{};
-    header.magic = kMagic;
-    header.version = kVersion;
-    header.drift_bins = frame.layout().drift_bins;
-    header.mz_bins = frame.layout().mz_bins;
-    header.drift_bin_width_s = frame.layout().drift_bin_width_s;
-    header.payload_crc = crc32(payload.data(), payload_bytes);
-
     os.write(reinterpret_cast<const char*>(&header), sizeof(header));
     os.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload_bytes));
+             static_cast<std::streamsize>(payload.size() * sizeof(double)));
+    if (!os) throw Error("frame write failed");
+}
+
+void write_frame(std::ostream& os, const Frame& frame,
+                 fault::FaultInjector* faults) {
+    if (faults == nullptr) {
+        write_frame(os, frame);
+        return;
+    }
+    const Header header = make_header(frame);
+    const auto payload = frame.data();
+    std::string bytes(sizeof(header) + payload.size() * sizeof(double), '\0');
+    std::memcpy(bytes.data(), &header, sizeof(header));
+    std::memcpy(bytes.data() + sizeof(header), payload.data(),
+                payload.size() * sizeof(double));
+
+    const auto corrupt = faults->decide(fault::Site::kFrameCorrupt);
+    if (corrupt.fire) {
+        const std::uint64_t offset = faults->draw_below(
+            fault::Site::kFrameCorrupt, corrupt.event, bytes.size());
+        const auto mask = static_cast<char>(1 + faults->draw_below(
+            fault::Site::kFrameCorrupt, corrupt.event, 255, /*salt=*/1));
+        bytes[static_cast<std::size_t>(offset)] ^= mask;
+    }
+    const auto truncate = faults->decide(fault::Site::kFrameTruncate);
+    if (truncate.fire) {
+        const std::uint64_t keep = faults->draw_below(
+            fault::Site::kFrameTruncate, truncate.event, bytes.size());
+        bytes.resize(static_cast<std::size_t>(keep));
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!os) throw Error("frame write failed");
 }
 
 Frame read_frame(std::istream& is) {
-    Header header{};
-    is.read(reinterpret_cast<char*>(&header), sizeof(header));
+    std::array<char, sizeof(Header)> header_bytes{};
+    is.read(header_bytes.data(), sizeof(Header));
     if (!is) throw Error("frame read failed: truncated header");
+    Header header{};
+    std::memcpy(&header, header_bytes.data(), sizeof(header));
     if (header.magic != kMagic) throw Error("frame read failed: bad magic");
     if (header.version != kVersion)
         throw Error("frame read failed: unsupported version " +
                     std::to_string(header.version));
+    if (header_crc_of(header) != header.header_crc)
+        throw Error("frame read failed: header CRC mismatch");
     if (header.drift_bins == 0 || header.mz_bins == 0 ||
         header.drift_bins > (1u << 24) || header.mz_bins > (1u << 24))
         throw Error("frame read failed: implausible layout");
@@ -89,8 +194,6 @@ Frame read_frame(std::istream& is) {
                        .mz_bins = static_cast<std::size_t>(header.mz_bins),
                        .drift_bin_width_s = header.drift_bin_width_s};
     Frame frame(layout);
-    HTIMS_DCHECK(frame.data().size() == layout.cells(),
-                 "decoded frame storage matches the validated header");
     const std::size_t payload_bytes = frame.data().size() * sizeof(double);
     is.read(reinterpret_cast<char*>(frame.data().data()),
             static_cast<std::streamsize>(payload_bytes));
@@ -111,6 +214,73 @@ Frame load_frame(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
     if (!is) throw Error("cannot open " + path + " for reading");
     return read_frame(is);
+}
+
+FrameStreamReader::FrameStreamReader(std::istream& is, RecoveryMode mode)
+    : mode_(mode) {
+    std::ostringstream slurp;
+    slurp << is.rdbuf();
+    bytes_ = std::move(slurp).str();
+}
+
+FrameStreamReader::FrameStreamReader(std::string bytes, RecoveryMode mode)
+    : bytes_(std::move(bytes)), mode_(mode) {}
+
+std::optional<Frame> FrameStreamReader::next() {
+    auto& tel = telemetry::Registry::global();
+    static auto& c_crc = tel.counter("frame_io.crc_failures");
+    static auto& c_resync = tel.counter("frame_io.frames_resynced");
+    static auto& c_skipped = tel.counter("frame_io.bytes_skipped");
+
+    if (pos_ >= bytes_.size()) return std::nullopt;
+    std::size_t consumed = 0;
+    try {
+        Frame frame = parse_frame(bytes_.data() + pos_, bytes_.size() - pos_,
+                                  &consumed);
+        pos_ += consumed;
+        ++stats_.frames_ok;
+        return frame;
+    } catch (const Error&) {
+        if (mode_ == RecoveryMode::kThrow) throw;
+    }
+
+    // Recovery: the bytes at pos_ are not a valid frame. Count one loss,
+    // then scan forward for the next magic that parses clean. Overlapping
+    // candidates are fine — a candidate that fails validation just moves
+    // the scan one byte past its magic.
+    ++stats_.frames_lost;
+    c_crc.increment();
+    static const std::array<char, 4> kMagicBytes = {0x53, 0x4D, 0x54, 0x48};
+    const std::size_t lost_at = pos_;
+    std::size_t scan = pos_ + 1;
+    while (scan + kMagicBytes.size() <= bytes_.size()) {
+        const auto* hit = static_cast<const char*>(
+            std::memchr(bytes_.data() + scan, kMagicBytes[0], bytes_.size() - scan));
+        if (hit == nullptr) break;
+        const auto candidate = static_cast<std::size_t>(hit - bytes_.data());
+        if (candidate + kMagicBytes.size() > bytes_.size()) break;
+        if (std::memcmp(hit, kMagicBytes.data(), kMagicBytes.size()) == 0) {
+            try {
+                Frame frame = parse_frame(bytes_.data() + candidate,
+                                          bytes_.size() - candidate, &consumed);
+                stats_.bytes_skipped += candidate - lost_at;
+                c_skipped.add(static_cast<std::int64_t>(candidate - lost_at));
+                ++stats_.resyncs;
+                c_resync.increment();
+                ++stats_.frames_ok;
+                pos_ = candidate + consumed;
+                return frame;
+            } catch (const Error&) {
+                // Spurious or damaged header; keep scanning.
+            }
+        }
+        scan = candidate + 1;
+    }
+    // No recoverable frame remains; the tail is discarded.
+    stats_.bytes_skipped += bytes_.size() - lost_at;
+    c_skipped.add(static_cast<std::int64_t>(bytes_.size() - lost_at));
+    pos_ = bytes_.size();
+    return std::nullopt;
 }
 
 }  // namespace htims::pipeline

@@ -1,18 +1,36 @@
-// frame_io.hpp — binary serialization of frames.
+// frame_io.hpp — binary serialization of frames, with degraded-mode reads.
 //
 // The platform's companion work on efficient MS data formats (Shah et al.,
 // #17) motivates a compact binary container for frames: fixed 64-byte
-// header (magic, version, layout, payload CRC32) followed by the row-major
-// float64 payload. Little-endian on-disk layout; integrity is verified on
-// read. Used by the CLI example to persist acquisitions and by replay
-// tooling to feed the pipeline from disk.
+// header (magic, version, layout, payload CRC32, header CRC32) followed by
+// the row-major float64 payload. Little-endian on-disk layout; integrity is
+// verified on read. Used by the CLI example to persist acquisitions and by
+// replay tooling to feed the pipeline from disk.
+//
+// Container v2 adds a header CRC (over the header bytes with the CRC field
+// zeroed), so *every* single-byte flip anywhere in a stream is detectable —
+// including flips in fields the payload CRC never covered. The corruption
+// sweep test pins that property down exhaustively.
+//
+// Degraded-mode reading: a real replay cannot abort a whole LC gradient
+// because one frame arrived corrupt. FrameStreamReader reads a
+// concatenated-frame stream and, in kResync mode, treats a corrupt or
+// truncated frame as a *loss*, scanning forward for the next plausible
+// frame header instead of throwing — every detection/recovery is counted in
+// its stats and mirrored into telemetry (frame_io.crc_failures,
+// frame_io.frames_resynced, frame_io.bytes_skipped).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "pipeline/frame.hpp"
+
+namespace htims::fault {
+class FaultInjector;
+}
 
 namespace htims::pipeline {
 
@@ -20,16 +38,77 @@ namespace htims::pipeline {
 /// the frame container. Exposed for tests and other containers.
 std::uint32_t crc32(const void* data, std::size_t bytes);
 
+/// FNV-1a 64-bit hash of a byte buffer; the digest primitive golden
+/// regression fixtures pin in-source.
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+/// Order-sensitive digest of a frame: layout dimensions plus every cell
+/// quantized as llround(value * quantization). Built on exact integer
+/// arithmetic so it is bit-stable across build types for pipelines whose
+/// cell values are exactly representable (integer-count domains).
+std::uint64_t frame_digest(const Frame& frame, double quantization = 256.0);
+
 /// Serialize a frame (header + payload) to a stream. Throws htims::Error on
 /// stream failure.
 void write_frame(std::ostream& os, const Frame& frame);
 
+/// Fault-injected variant: serializes, then applies any kFrameCorrupt
+/// (single-byte XOR at a plan-determined offset) and kFrameTruncate
+/// (plan-determined cut) faults before writing — the deterministic stand-in
+/// for a lossy transport. `faults` may be null (plain write).
+void write_frame(std::ostream& os, const Frame& frame,
+                 fault::FaultInjector* faults);
+
 /// Deserialize a frame written by write_frame. Throws htims::Error on bad
-/// magic, unsupported version, truncated payload, or CRC mismatch.
+/// magic, unsupported version, header CRC mismatch, implausible layout,
+/// truncated payload, or payload CRC mismatch.
 Frame read_frame(std::istream& is);
 
 /// Convenience file wrappers.
 void save_frame(const std::string& path, const Frame& frame);
 Frame load_frame(const std::string& path);
+
+/// What a FrameStreamReader does when a frame fails validation.
+enum class RecoveryMode {
+    kThrow,   ///< propagate the error (read_frame semantics)
+    kResync,  ///< count the loss, scan to the next frame header, continue
+};
+
+/// Activity counters for one reader.
+struct FrameStreamStats {
+    std::uint64_t frames_ok = 0;       ///< frames decoded and verified
+    std::uint64_t frames_lost = 0;     ///< corrupt/truncated frames skipped
+    std::uint64_t resyncs = 0;         ///< losses recovered by re-locking
+    std::uint64_t bytes_skipped = 0;   ///< bytes discarded while scanning
+};
+
+/// Sequential reader over a stream of concatenated frames with optional
+/// skip-and-resync recovery. The stream is slurped at construction (replay
+/// files are modest; in-memory scanning keeps resync O(bytes) with no
+/// seekability requirement on the istream).
+class FrameStreamReader {
+public:
+    explicit FrameStreamReader(std::istream& is,
+                               RecoveryMode mode = RecoveryMode::kResync);
+    explicit FrameStreamReader(std::string bytes,
+                               RecoveryMode mode = RecoveryMode::kResync);
+
+    /// Next verified frame, or nullopt at end of stream. In kThrow mode a
+    /// bad frame throws htims::Error; in kResync mode it is counted and
+    /// skipped (so nullopt means "no more recoverable frames").
+    std::optional<Frame> next();
+
+    /// True once the reader has consumed or discarded every byte.
+    bool exhausted() const { return pos_ >= bytes_.size(); }
+
+    const FrameStreamStats& stats() const { return stats_; }
+
+private:
+    std::string bytes_;
+    std::size_t pos_ = 0;
+    RecoveryMode mode_;
+    FrameStreamStats stats_;
+};
 
 }  // namespace htims::pipeline

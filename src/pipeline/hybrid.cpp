@@ -1,5 +1,6 @@
 #include "pipeline/hybrid.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -12,10 +13,15 @@ namespace htims::pipeline {
 
 namespace {
 
-/// One streamed block: a view into the replayed period template.
+/// One streamed block: a view into the replayed period template, tagged
+/// with its global record index so the consumer can close frames correctly
+/// even when records were dropped upstream. `end` marks the stream
+/// sentinel the producer always delivers (never dropped).
 struct Block {
     const std::uint32_t* data = nullptr;
     std::size_t size = 0;
+    std::uint64_t seq = 0;
+    bool end = false;
 };
 
 }  // namespace
@@ -43,6 +49,10 @@ HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
         throw ConfigError("period sample template must have layout.cells() entries");
     if (config.frames == 0 || config.averages == 0)
         throw ConfigError("hybrid run needs frames >= 1 and averages >= 1");
+    if (config.ring_timeout_s < 0.0)
+        throw ConfigError("ring_timeout_s cannot be negative");
+    if (config.cpu_max_retries < 0)
+        throw ConfigError("cpu_max_retries cannot be negative");
 }
 
 HybridReport HybridPipeline::run() {
@@ -58,6 +68,9 @@ HybridReport HybridPipeline::run() {
     static auto& c_frames = tel.counter("hybrid.frames");
     static auto& c_stalls = tel.counter("hybrid.producer_stalls");
     static auto& c_idles = tel.counter("hybrid.consumer_idles");
+    static auto& c_rec_dropped = tel.counter("hybrid.records_dropped");
+    static auto& c_frames_dropped = tel.counter("hybrid.frames_dropped");
+    static auto& c_jitter = tel.counter("hybrid.link_jitter_events");
     static auto& g_ring = tel.gauge("hybrid.ring_occupancy");
     static auto& h_ring = tel.histogram("hybrid.ring_occupancy");
     static auto& h_stall = tel.histogram("hybrid.producer_stall_ns");
@@ -72,37 +85,98 @@ HybridReport HybridPipeline::run() {
     HybridReport report;
     report.last_frame = Frame(layout_);
 
+    fault::FaultInjector* faults = config_.faults;
+    // kDropOldest: the producer cannot pop an SPSC ring, so it grants the
+    // consumer a "drop credit" instead — the consumer discards its next
+    // (i.e. oldest queued) record per credit, which is exactly the record
+    // that has waited longest on the link.
+    alignas(kCacheLine) std::atomic<std::uint64_t> drop_credits{0};
+
     double producer_stall = 0.0;
     std::thread producer([&] {
-        std::uint64_t sent = 0;
-        while (sent < records_total) {
-            const std::size_t record_in_period =
-                static_cast<std::size_t>(sent % records_per_period);
-            Block block{period_samples_.data() + record_in_period * record_len,
-                        record_len};
-            if (ring.try_push(std::move(block))) {
-                ++sent;
-            } else {
-                WallTimer stall;
-                do {
-                    std::this_thread::yield();
-                } while (!ring.try_push(Block{period_samples_.data() +
-                                                  record_in_period * record_len,
-                                              record_len}));
-                const double stalled = stall.seconds();
+        // Blocking push with stall accounting; returns false if the
+        // bounded wait expired (kBlock with a timeout).
+        const auto push_blocking = [&](Block block) {
+            WallTimer stall;
+            const bool bounded = config_.ring_timeout_s > 0.0 && !block.end;
+            while (!ring.try_push(Block{block})) {
+                if (bounded && stall.seconds() > config_.ring_timeout_s) {
+                    producer_stall += stall.seconds();
+                    if (tel_on) c_stalls.increment();
+                    return false;
+                }
+                std::this_thread::yield();
+            }
+            const double stalled = stall.seconds();
+            if (stalled > 0.0) {
                 producer_stall += stalled;
                 if (tel_on) {
                     c_stalls.increment();
                     h_stall.observe(static_cast<std::uint64_t>(stalled * 1e9));
                 }
-                ++sent;
+            }
+            return true;
+        };
+
+        for (std::uint64_t seq = 0; seq < records_total; ++seq) {
+            const std::size_t record_in_period =
+                static_cast<std::size_t>(seq % records_per_period);
+            Block block{period_samples_.data() + record_in_period * record_len,
+                        record_len, seq, false};
+
+            if (faults != nullptr) {
+                const auto jitter = faults->decide(fault::Site::kLinkJitter);
+                if (jitter.fire) {
+                    // A short, plan-determined transport hiccup (10..80 us).
+                    const auto us = 10 * (1 + faults->draw_below(
+                                             fault::Site::kLinkJitter,
+                                             jitter.event, 8));
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(us));
+                    if (tel_on) c_jitter.increment();
+                }
+            }
+            const bool forced_overrun =
+                faults != nullptr && faults->should_fire(fault::Site::kLinkOverrun);
+
+            if (!forced_overrun && ring.try_push(Block{block})) continue;
+
+            // The record hit a full (or fault-forced "full") link.
+            switch (config_.ring_policy) {
+                case RingFullPolicy::kBlock:
+                    push_blocking(block);  // timeout expiry drops the record;
+                                           // the consumer sees the seq gap
+                    break;
+                case RingFullPolicy::kDropNewest:
+                    if (forced_overrun || !ring.try_push(Block{block})) {
+                        // dropped; accounted by the consumer via seq gap
+                    }
+                    break;
+                case RingFullPolicy::kDropOldest:
+                    drop_credits.fetch_add(1, std::memory_order_release);
+                    push_blocking(block);
+                    break;
             }
         }
+        // Stream-end sentinel: always delivered, whatever the policy.
+        push_blocking(Block{nullptr, 0, records_total, true});
     });
 
     WallTimer wall;
     const std::uint64_t records_per_frame =
         static_cast<std::uint64_t>(config_.averages) * records_per_period;
+
+    // Per-frame degradation flags (a frame is degraded when at least one of
+    // its records was dropped anywhere on the link).
+    std::vector<std::uint8_t> degraded(config_.frames, 0);
+    const auto mark_dropped_range = [&](std::uint64_t first, std::uint64_t last) {
+        // Records in [first, last) were lost; mark their frames.
+        report.records_dropped += last - first;
+        if (tel_on) c_rec_dropped.add(static_cast<std::int64_t>(last - first));
+        for (std::uint64_t f = first / records_per_frame;
+             f <= (last - 1) / records_per_frame; ++f)
+            degraded[static_cast<std::size_t>(f)] = 1;
+    };
 
     // The consumer samples ring occupancy as it pops (the reading the
     // paper's backpressure argument cares about) and closes a stage span
@@ -119,78 +193,112 @@ HybridReport HybridPipeline::run() {
         frame_start_ns = now;
     };
 
+    // Backend-agnostic consumer: `accumulate` folds one record in,
+    // `close_frame` finishes the frame currently being assembled. Frames
+    // are closed by watching the sequence tags, so frames whose trailing
+    // records were dropped still close (as degraded frames).
+    const auto consume = [&](auto&& accumulate, auto&& close_frame) {
+        std::uint64_t next_seq = 0;       // next record index expected
+        std::uint64_t frames_closed = 0;  // frames finished so far
+        const auto close_through = [&](std::uint64_t frame_limit) {
+            while (frames_closed < frame_limit) {
+                close_frame(frames_closed < config_.frames - 1);
+                if (degraded[static_cast<std::size_t>(frames_closed)] != 0) {
+                    ++report.frames_degraded;
+                    if (tel_on) c_frames_dropped.increment();
+                }
+                frame_done();
+                ++frames_closed;
+            }
+        };
+        for (;;) {
+            auto block = ring.try_pop();
+            if (!block) {
+                WallTimer idle;
+                while (!(block = ring.try_pop())) std::this_thread::yield();
+                const double idled = idle.seconds();
+                report.consumer_idle_seconds += idled;
+                if (tel_on) {
+                    c_idles.increment();
+                    h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
+                }
+            }
+            if (tel_on) {
+                const auto depth = static_cast<std::int64_t>(ring.size());
+                g_ring.set(depth);
+                h_ring.observe(static_cast<std::uint64_t>(depth));
+            }
+            if (block->end) break;
+            if (block->seq > next_seq) mark_dropped_range(next_seq, block->seq);
+            next_seq = block->seq + 1;
+            close_through(block->seq / records_per_frame);
+
+            // kDropOldest credits: this record is the oldest still queued —
+            // discard it (counts as dropped, degrades its frame).
+            std::uint64_t credits = drop_credits.load(std::memory_order_acquire);
+            bool discard = false;
+            while (credits > 0) {
+                if (drop_credits.compare_exchange_weak(credits, credits - 1,
+                                                       std::memory_order_acq_rel)) {
+                    discard = true;
+                    break;
+                }
+            }
+            if (discard) {
+                mark_dropped_range(block->seq, block->seq + 1);
+                continue;
+            }
+            if (tel_on) c_records.increment();
+            accumulate(*block);
+        }
+        if (next_seq < records_total) mark_dropped_range(next_seq, records_total);
+        close_through(config_.frames);
+    };
+
     if (config_.backend == BackendKind::kFpga) {
         FpgaPipeline fpga(sequence_, layout_, config_.fpga);
+        if (faults != nullptr) fpga.set_faults(faults);
         fpga.begin_frame();
-        std::uint64_t received = 0;
-        while (received < records_total) {
-            auto block = ring.try_pop();
-            if (!block) {
-                WallTimer idle;
-                while (!(block = ring.try_pop())) std::this_thread::yield();
-                const double idled = idle.seconds();
-                report.consumer_idle_seconds += idled;
-                if (tel_on) {
-                    c_idles.increment();
-                    h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
-                }
-            }
-            if (tel_on) {
-                const auto depth = static_cast<std::int64_t>(ring.size());
-                g_ring.set(depth);
-                h_ring.observe(static_cast<std::uint64_t>(depth));
-                c_records.increment();
-            }
-            fpga.push_samples(std::span(block->data, block->size));
-            ++received;
-            if (received % records_per_frame == 0) {
+        consume(
+            [&](const Block& block) {
+                fpga.push_samples(std::span(block.data, block.size));
+            },
+            [&](bool more_frames) {
                 report.last_frame = fpga.end_frame();
                 report.fpga = fpga.report();
-                frame_done();
-                if (received < records_total) fpga.begin_frame();
-            }
-        }
+                if (more_frames) fpga.begin_frame();
+            });
     } else {
         CpuBackend cpu(sequence_, layout_, config_.cpu_threads);
+        if (faults != nullptr)
+            cpu.set_faults(faults, config_.cpu_max_retries,
+                           config_.cpu_retry_backoff_s);
         Frame accum(layout_);
-        std::uint64_t received = 0;
-        while (received < records_total) {
-            auto block = ring.try_pop();
-            if (!block) {
-                WallTimer idle;
-                while (!(block = ring.try_pop())) std::this_thread::yield();
-                const double idled = idle.seconds();
-                report.consumer_idle_seconds += idled;
-                if (tel_on) {
-                    c_idles.increment();
-                    h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
-                }
-            }
-            if (tel_on) {
-                const auto depth = static_cast<std::int64_t>(ring.size());
-                g_ring.set(depth);
-                h_ring.observe(static_cast<std::uint64_t>(depth));
-                c_records.increment();
-            }
-            const std::size_t record_in_period =
-                static_cast<std::size_t>(received % records_per_period);
-            auto row = accum.record(record_in_period);
-            for (std::size_t i = 0; i < block->size; ++i)
-                row[i] += static_cast<double>(block->data[i]);
-            ++received;
-            if (received % records_per_frame == 0) {
+        consume(
+            [&](const Block& block) {
+                const std::size_t record_in_period =
+                    static_cast<std::size_t>(block.seq % records_per_period);
+                auto row = accum.record(record_in_period);
+                for (std::size_t i = 0; i < block.size; ++i)
+                    row[i] += static_cast<double>(block.data[i]);
+            },
+            [&](bool /*more_frames*/) {
                 report.last_frame = cpu.deconvolve(accum);
                 accum.fill(0.0);
-                frame_done();
-            }
-        }
+            });
+        report.cpu_task_retries = cpu.task_retries();
     }
 
     producer.join();
-    // Lossless-handoff postconditions: the consumer saw every record the
-    // producer sent (the ring drained) and closed every configured frame.
+    // Lossless-handoff postconditions, degraded-mode aware: the ring fully
+    // drained, every configured frame was closed, and nothing was dropped
+    // unless a drop policy or an injected fault was in play.
     HTIMS_CHECK(ring.empty(), "stream fully drained at end of run");
     HTIMS_CHECK(report.frames == config_.frames, "every configured frame was closed");
+    HTIMS_CHECK(report.records_dropped == 0 ||
+                    config_.ring_policy != RingFullPolicy::kBlock ||
+                    config_.ring_timeout_s > 0.0 || faults != nullptr,
+                "unbounded Block policy without faults never drops records");
     report.wall_seconds = wall.seconds();
     report.producer_stall_seconds = producer_stall;
     report.samples = records_total * record_len;
@@ -198,6 +306,7 @@ HybridReport HybridPipeline::run() {
         report.wall_seconds > 0.0
             ? static_cast<double>(report.samples) / report.wall_seconds
             : 0.0;
+    if (faults != nullptr) report.faults = faults->counts();
     if (tel_on) report.telemetry = tel.snapshot();
     return report;
 }

@@ -8,11 +8,22 @@
 // streaming throughput, producer backpressure (link/processing too slow),
 // consumer idle time (source too slow), and whether the pipeline sustains
 // the instrument's native data rate.
+//
+// Degraded-mode operation: a real instrument run cannot abort mid-gradient
+// because the link briefly outran the decoder. The ring-full policy decides
+// what the producer does when the link is saturated (block as before, drop
+// the arriving record, or sacrifice the oldest queued record), records are
+// sequence-tagged so the consumer closes every configured frame even when
+// records were lost, and an optional FaultInjector drives deterministic
+// link jitter / forced-overrun / transient-CPU-failure scenarios. Every
+// drop is counted (hybrid.records_dropped, hybrid.frames_dropped) and
+// surfaced in the HybridReport next to the injector's own counts.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "pipeline/cpu_backend.hpp"
 #include "pipeline/fpga.hpp"
 #include "pipeline/frame.hpp"
@@ -24,6 +35,13 @@ namespace htims::pipeline {
 /// Which processing component consumes the stream.
 enum class BackendKind { kFpga, kCpu };
 
+/// What the producer does when a record arrives at a full ring.
+enum class RingFullPolicy {
+    kBlock,       ///< wait for space (optionally bounded by ring_timeout_s)
+    kDropNewest,  ///< discard the arriving record
+    kDropOldest,  ///< discard the oldest queued record, keep the new one
+};
+
 /// Hybrid run parameters.
 struct HybridConfig {
     BackendKind backend = BackendKind::kFpga;
@@ -32,6 +50,13 @@ struct HybridConfig {
     std::size_t ring_records = 256; ///< link depth, in TOF records
     std::size_t cpu_threads = 0;    ///< CPU backend worker count (0 = auto)
     FpgaConfig fpga{};              ///< FPGA model parameters
+
+    RingFullPolicy ring_policy = RingFullPolicy::kBlock;
+    double ring_timeout_s = 0.0;    ///< kBlock: max wait per record (0 = forever);
+                                    ///< on expiry the record is dropped
+    int cpu_max_retries = 4;        ///< retry budget for transient CPU faults
+    double cpu_retry_backoff_s = 50e-6;  ///< initial retry backoff (doubles)
+    fault::FaultInjector* faults = nullptr;  ///< optional fault injection
 };
 
 /// Outcome of a hybrid streaming run.
@@ -46,6 +71,11 @@ struct HybridReport {
     Frame last_frame;                     ///< last deconvolved frame
     telemetry::Snapshot telemetry;        ///< registry snapshot at run end
                                           ///< (empty when telemetry is off)
+
+    std::uint64_t records_dropped = 0;  ///< records lost to policy/overrun
+    std::uint64_t frames_degraded = 0;  ///< frames missing >= 1 record
+    std::uint64_t cpu_task_retries = 0; ///< transient CPU faults retried
+    fault::InjectionCounts faults{};    ///< injector counters at run end
 
     /// Ratio of achieved throughput to the instrument's native rate; >= 1
     /// means the pipeline keeps up in real time. A non-positive
