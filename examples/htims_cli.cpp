@@ -31,6 +31,9 @@ void usage() {
         "  --seed S              acquisition RNG seed\n"
         "  --faults SPEC         fault plan, e.g. seed=7,cpu.fail=0.01,\n"
         "                        fpga.overrun@3 (see src/fault/fault.hpp)\n"
+        "  --overlap             also stream the frame through the hybrid\n"
+        "                        pipeline, synchronous vs overlapped decode,\n"
+        "                        and report the overlap speedup\n"
         "  --save PATH           write the deconvolved frame (binary)\n"
         "  --csv                 print the feature table as CSV\n"
         "  --telemetry           print the telemetry report after the run\n"
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
     std::string telemetry_json_path;
     bool csv = false;
     bool telemetry = false;
+    bool overlap = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
                 std::cerr << "bad --faults spec: " << e.what() << "\n";
                 return 2;
             }
+        } else if (arg == "--overlap") {
+            overlap = true;
         } else if (arg == "--save") {
             save_path = next();
         } else if (arg == "--csv") {
@@ -173,6 +179,40 @@ int main(int argc, char** argv) {
         else
             table.print(std::cout);
         std::cout << features.size() << " features total\n";
+
+        if (overlap) {
+            // Stream the acquired frame through the hybrid pipeline twice —
+            // decode inline on the consumer, then overlapped on a worker —
+            // and report the end-to-end speedup from hiding the decode
+            // behind ingestion.
+            pipeline::HybridConfig hcfg;
+            hcfg.backend = cfg.backend;
+            hcfg.frames = 4;
+            hcfg.averages = cfg.acquisition.averages;
+            hcfg.cpu_threads = cfg.cpu_threads;
+            hcfg.fpga = cfg.fpga;
+            const auto period = pipeline::to_period_samples(
+                run.acquisition.raw, cfg.acquisition.averages);
+            pipeline::HybridPipeline sync_pipe(simulator.engine().sequence(),
+                                               simulator.layout(), period, hcfg);
+            const auto sync_report = sync_pipe.run();
+            hcfg.overlap_decode = true;
+            pipeline::HybridPipeline overlap_pipe(simulator.engine().sequence(),
+                                                  simulator.layout(), period, hcfg);
+            const auto overlap_report = overlap_pipe.run();
+            const double overlap_x =
+                sync_report.sample_rate > 0.0
+                    ? overlap_report.sample_rate / sync_report.sample_rate
+                    : 0.0;
+            std::cout << "hybrid stream: sync "
+                      << format_double(sync_report.sample_rate / 1e6, 2)
+                      << " Msamples/s, overlapped "
+                      << format_double(overlap_report.sample_rate / 1e6, 2)
+                      << " Msamples/s (overlap_x " << format_double(overlap_x, 2)
+                      << ", decode-wait "
+                      << format_double(overlap_report.decode_wait_seconds * 1e3, 2)
+                      << " ms)\n";
+        }
 
         if (!save_path.empty()) {
             pipeline::save_frame(save_path, run.deconvolved);

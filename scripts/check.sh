@@ -14,7 +14,10 @@
 #             suite includes tests/test_race.cpp, which stresses the SPSC
 #             ring at capacity boundaries, parallel_for grain edges,
 #             exporter-vs-writer telemetry traffic, and hybrid start/stop
-#             under backpressure. TSan aborts the run on any report, so a
+#             under backpressure — synchronous and overlapped-decode (the
+#             frame handoff channel and decode-worker join). The `tsan`
+#             ctest label then re-runs that focused set a second time for
+#             extra interleavings. TSan aborts the run on any report, so a
 #             green stage means zero races observed.
 #   lint      scripts/lint.sh: -Werror warning-clean build, clang-tidy when
 #             installed, and the repo-specific rules.
@@ -84,7 +87,9 @@ if [[ "$run_tsan" == 1 ]]; then
     # of letting a poisoned process keep running.
     if TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
         build_and_test build-tsan -DHTIMS_TSAN=ON \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+        TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+        ctest --test-dir build-tsan -L tsan --output-on-failure -j "$jobs"; then
         stage tsan PASS
     else
         stage tsan FAIL

@@ -116,7 +116,8 @@ if [[ "$run_rules" == 1 ]]; then
     done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
 
     # Rule 3: no naked std::thread outside the thread pool and the hybrid
-    # orchestrator (whose producer is constructed and joined in one scope).
+    # orchestrator (whose producer and decode worker are constructed and
+    # joined in one scope).
     while IFS= read -r f; do
         case "$f" in
             src/common/thread_pool.hpp|src/common/thread_pool.cpp) continue ;;

@@ -47,7 +47,7 @@ Frame CpuBackend::deconvolve(const Frame& raw) {
             throw Error("cpu backend: persistent task failure after " +
                         std::to_string(attempt) + " retries");
         ++attempt;
-        ++task_retries_;
+        task_retries_.fetch_add(1, std::memory_order_relaxed);
         c_retries.increment();
         const double backoff = backoff_s_ * static_cast<double>(1 << (attempt - 1));
         if (backoff > 0.0)
@@ -114,9 +114,13 @@ Frame CpuBackend::run(const Frame& raw, std::size_t lanes) {
             }
         });
     }
-    last_seconds_ = timer.seconds();
-    total_seconds_ += last_seconds_;
-    ++total_frames_;
+    const double elapsed = timer.seconds();
+    {
+        std::lock_guard lock(stats_mutex_);
+        last_seconds_ = elapsed;
+        total_seconds_ += elapsed;
+        ++total_frames_;
+    }
     c_frames.increment();
     c_channels.add(static_cast<std::int64_t>(layout_.mz_bins));
     c_tiles.add(static_cast<std::int64_t>(tiles));
@@ -124,16 +128,23 @@ Frame CpuBackend::run(const Frame& raw, std::size_t lanes) {
     c_tail.add(static_cast<std::int64_t>(layout_.mz_bins - tail_begin));
     g_tier.set(static_cast<std::int64_t>(simd_tier()));
     g_lanes.set(static_cast<std::int64_t>(lanes));
-    h_decode.observe(static_cast<std::uint64_t>(last_seconds_ * 1e9));
+    h_decode.observe(static_cast<std::uint64_t>(elapsed * 1e9));
     return out;
 }
 
 double CpuBackend::sustained_sample_rate(std::size_t averages) const {
-    if (total_seconds_ <= 0.0 || total_frames_ == 0) return 0.0;
+    double seconds = 0.0;
+    std::size_t frames = 0;
+    {
+        std::lock_guard lock(stats_mutex_);
+        seconds = total_seconds_;
+        frames = total_frames_;
+    }
+    if (seconds <= 0.0 || frames == 0) return 0.0;
     const double samples = static_cast<double>(averages) *
                            static_cast<double>(layout_.cells()) *
-                           static_cast<double>(total_frames_);
-    return samples / total_seconds_;
+                           static_cast<double>(frames);
+    return samples / seconds;
 }
 
 }  // namespace htims::pipeline

@@ -19,8 +19,10 @@
 //    set_batch_lanes(1)).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 #include "common/thread_pool.hpp"
 #include "pipeline/frame.hpp"
@@ -58,21 +60,37 @@ public:
                     double backoff_s = 50e-6);
 
     /// Transient task failures retried since construction.
-    std::uint64_t task_retries() const { return task_retries_; }
+    std::uint64_t task_retries() const {
+        return task_retries_.load(std::memory_order_relaxed);
+    }
 
     /// Deconvolve every m/z channel of `raw`; returns the drift-domain
     /// frame. Uses the batched tile path unless batch_lanes() == 1.
+    ///
+    /// Thread safety: one deconvolve at a time, but the calling thread may
+    /// change between calls (the hybrid orchestrator moves decode onto a
+    /// worker in overlapped mode). Retry/backoff state is per-call; the
+    /// stats below are synchronized so any thread reads consistent values.
     Frame deconvolve(const Frame& raw);
 
     /// Reference path: one channel at a time, regardless of batch_lanes().
     Frame deconvolve_scalar(const Frame& raw);
 
     /// Wall time of the last deconvolve() call (seconds).
-    double last_seconds() const { return last_seconds_; }
+    double last_seconds() const {
+        std::lock_guard lock(stats_mutex_);
+        return last_seconds_;
+    }
     /// Total decode wall time across all frames since construction.
-    double total_seconds() const { return total_seconds_; }
+    double total_seconds() const {
+        std::lock_guard lock(stats_mutex_);
+        return total_seconds_;
+    }
     /// Frames deconvolved since construction.
-    std::size_t frames_decoded() const { return total_frames_; }
+    std::size_t frames_decoded() const {
+        std::lock_guard lock(stats_mutex_);
+        return total_frames_;
+    }
 
     /// Raw-sample throughput averaged over every frame deconvolved since
     /// construction, for frames that each accumulated `averages` periods:
@@ -88,13 +106,14 @@ private:
     FrameLayout layout_;
     ThreadPool pool_;
     std::size_t lanes_;
+    mutable std::mutex stats_mutex_;  ///< guards the decode-time stats
     double last_seconds_ = 0.0;
     double total_seconds_ = 0.0;
     std::size_t total_frames_ = 0;
     fault::FaultInjector* faults_ = nullptr;
     int max_retries_ = 4;
     double backoff_s_ = 50e-6;
-    std::uint64_t task_retries_ = 0;
+    std::atomic<std::uint64_t> task_retries_{0};
 };
 
 }  // namespace htims::pipeline

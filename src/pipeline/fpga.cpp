@@ -34,10 +34,12 @@ FpgaPipeline::FpgaPipeline(const prs::OversampledPrs& sequence, const FrameLayou
     if (sequence_.mode() == prs::GateMode::kStretched && sequence_.factor() > 1)
         zstack_.resize(sequence_.length());
 
-    report_.bram_bytes_used =
+    bram_bytes_used_ =
         layout.cells() * static_cast<std::size_t>(config.accumulator_bits) / 8 +
         static_cast<std::size_t>(config.deconv_engines) * (n + 1) * sizeof(std::int64_t);
-    report_.fits_bram = report_.bram_bytes_used <= config.bram_bytes;
+    fits_bram_ = bram_bytes_used_ <= config.bram_bytes;
+    report_.bram_bytes_used = bram_bytes_used_;
+    report_.fits_bram = fits_bram_;
 
     HTIMS_CHECK(bins_.size() == layout.cells(), "one accumulator bin per frame cell");
     HTIMS_CHECK(n > 0 && pad_.size() == n + 1, "deconvolution scratch sized to sequence");
@@ -47,11 +49,7 @@ void FpgaPipeline::begin_frame() {
     for (auto& b : bins_) b.reset();
     stream_pos_ = 0;
     frame_samples_ = 0;
-    const std::size_t bram = report_.bram_bytes_used;
-    const bool fits = report_.fits_bram;
-    report_ = FpgaCycleReport{};
-    report_.bram_bytes_used = bram;
-    report_.fits_bram = fits;
+    capture_cycles_ = 0;
 }
 
 void FpgaPipeline::push_samples(std::span<const std::uint32_t> samples) {
@@ -62,9 +60,26 @@ void FpgaPipeline::push_samples(std::span<const std::uint32_t> samples) {
         if (++stream_pos_ == cells) stream_pos_ = 0;  // next period, same map
     }
     frame_samples_ += samples.size();
-    report_.capture_cycles += (samples.size() +
-                               static_cast<std::size_t>(config_.samples_per_cycle) - 1) /
-                              static_cast<std::size_t>(config_.samples_per_cycle);
+    capture_cycles_ += (samples.size() +
+                        static_cast<std::size_t>(config_.samples_per_cycle) - 1) /
+                       static_cast<std::size_t>(config_.samples_per_cycle);
+}
+
+FpgaCapture FpgaPipeline::capture_frame(FpgaCapture reuse) {
+    FpgaCapture capture;
+    capture.bins = std::move(bins_);
+    capture.capture_cycles = capture_cycles_;
+    capture.frame_samples = frame_samples_;
+    if (reuse.bins.size() == layout_.cells()) {
+        bins_ = std::move(reuse.bins);
+        for (auto& b : bins_) b.reset();
+    } else {
+        bins_.assign(layout_.cells(), SaturatingAccumulator(config_.accumulator_bits));
+    }
+    stream_pos_ = 0;
+    frame_samples_ = 0;
+    capture_cycles_ = 0;
+    return capture;
 }
 
 void FpgaPipeline::integer_decode(const std::vector<std::int64_t>& y,
@@ -90,34 +105,36 @@ double quantize_out(std::int64_t w, int order, const QFormat& fmt) {
 
 }  // namespace
 
-void FpgaPipeline::decode_channel_pulsed(std::size_t mz, Frame& out) {
+void FpgaPipeline::decode_channel_pulsed(const std::vector<SaturatingAccumulator>& bins,
+                                         std::size_t mz, Frame& out) {
     const std::size_t n = base_.length();
     const auto f = static_cast<std::size_t>(sequence_.factor());
     const std::size_t m = layout_.mz_bins;
     // Hoisted bound for every bin index the phase loops touch below.
-    HTIMS_DCHECK(f >= 1 && mz < m && (f * (n - 1) + (f - 1)) * m + mz < bins_.size(),
+    HTIMS_DCHECK(f >= 1 && mz < m && (f * (n - 1) + (f - 1)) * m + mz < bins.size(),
                  "channel decode reads inside the bin array");
     for (std::size_t r = 0; r < f; ++r) {
         for (std::size_t q = 0; q < n; ++q)
-            chan_[q] = bins_[(f * q + r) * m + mz].value();
+            chan_[q] = bins[(f * q + r) * m + mz].value();
         integer_decode(chan_, w_);
         for (std::size_t p = 0; p < n; ++p)
             out.at(f * p + r, mz) = quantize_out(w_[p], order_, config_.output_format);
     }
 }
 
-void FpgaPipeline::decode_channel_stretched(std::size_t mz, Frame& out) {
+void FpgaPipeline::decode_channel_stretched(
+    const std::vector<SaturatingAccumulator>& bins, std::size_t mz, Frame& out) {
     const std::size_t n = base_.length();
     const auto f = static_cast<std::size_t>(sequence_.factor());
     const std::size_t m = layout_.mz_bins;
-    HTIMS_DCHECK(f >= 1 && mz < m && (f * (n - 1) + (f - 1)) * m + mz < bins_.size(),
+    HTIMS_DCHECK(f >= 1 && mz < m && (f * (n - 1) + (f - 1)) * m + mz < bins.size(),
                  "channel decode reads inside the bin array");
     HTIMS_DCHECK(zstack_.size() == f * n, "phase stack sized to F chip profiles");
 
     // Z_r in w-units (exact integers).
     for (std::size_t r = 0; r < f; ++r) {
         for (std::size_t q = 0; q < n; ++q)
-            chan_[q] = bins_[(f * q + r) * m + mz].value();
+            chan_[q] = bins[(f * q + r) * m + mz].value();
         integer_decode(chan_, w_);
         std::copy(w_.begin(), w_.end(), zstack_.begin() + static_cast<std::ptrdiff_t>(r * n));
     }
@@ -164,7 +181,9 @@ void FpgaPipeline::decode_channel_stretched(std::size_t mz, Frame& out) {
         }
 }
 
-Frame FpgaPipeline::end_frame() {
+Frame FpgaPipeline::end_frame() { return finalize_frame(capture_frame()); }
+
+Frame FpgaPipeline::finalize_frame(const FpgaCapture& capture) {
     auto& tel = telemetry::Registry::global();
     static const auto kStageFrame = tel.intern("fpga.end_frame");
     auto span = tel.span(kStageFrame);
@@ -173,6 +192,11 @@ Frame FpgaPipeline::end_frame() {
     const std::size_t n = base_.length();
     const auto f = static_cast<std::size_t>(sequence_.factor());
     const bool stretched = sequence_.mode() == prs::GateMode::kStretched && f > 1;
+
+    FpgaCycleReport report{};
+    report.bram_bytes_used = bram_bytes_used_;
+    report.fits_bram = fits_bram_;
+    report.capture_cycles = capture.capture_cycles;
 
     // A fired kFpgaOverrun models the decode window closing early: the
     // engine emits the frame with only the first `channels` m/z channels
@@ -184,23 +208,22 @@ Frame FpgaPipeline::end_frame() {
         if (overrun.fire) {
             channels = static_cast<std::size_t>(faults_->draw_below(
                 fault::Site::kFpgaOverrun, overrun.event, layout_.mz_bins));
-            report_.budget_overrun = true;
+            report.budget_overrun = true;
             static auto& c_overruns = tel.counter("fpga.budget_overruns");
             c_overruns.increment();
         }
     }
-    report_.channels_decoded = channels;
+    report.channels_decoded = channels;
 
     for (std::size_t mz = 0; mz < channels; ++mz) {
         if (stretched)
-            decode_channel_stretched(mz, out);
+            decode_channel_stretched(capture.bins, mz, out);
         else
-            decode_channel_pulsed(mz, out);
+            decode_channel_pulsed(capture.bins, mz, out);
     }
 
     // Saturation census.
-    report_.accumulator_saturations = 0;
-    for (const auto& b : bins_) report_.accumulator_saturations += b.saturations();
+    for (const auto& b : capture.bins) report.accumulator_saturations += b.saturations();
 
     // Cycle model: per channel, per phase: scatter N + gather N + butterflies;
     // stretched adds ~3 F N integer adds for the phase recombination.
@@ -212,19 +235,20 @@ Frame FpgaPipeline::end_frame() {
     std::uint64_t per_channel = per_phase * f;
     if (stretched) per_channel += 3 * f * n;
     HTIMS_DCHECK(per_channel > 0, "cycle model must charge every channel");
-    report_.deconv_cycles = per_channel * channels /
-                            static_cast<std::uint64_t>(config_.deconv_engines);
+    report.deconv_cycles = per_channel * channels /
+                           static_cast<std::uint64_t>(config_.deconv_engines);
 
     // Real-time cycle budget: the streamed periods occupy wall time
     // periods * period_s on the instrument; the fabric clock affords that
     // many cycles to capture and decode the frame.
     const double periods = layout_.cells() > 0
-                               ? static_cast<double>(frame_samples_) /
+                               ? static_cast<double>(capture.frame_samples) /
                                      static_cast<double>(layout_.cells())
                                : 0.0;
     HTIMS_DCHECK(periods >= 0.0, "streamed period count cannot be negative");
-    report_.cycle_budget = static_cast<std::uint64_t>(
+    report.cycle_budget = static_cast<std::uint64_t>(
         periods * layout_.period_s() * config_.clock_hz);
+    report_ = report;
 
     static auto& c_frames = tel.counter("fpga.frames");
     static auto& c_capture = tel.counter("fpga.capture_cycles");

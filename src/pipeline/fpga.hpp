@@ -75,6 +75,17 @@ struct FpgaCycleReport {
     }
 };
 
+/// Accumulation state of one captured frame, detached from the pipeline so
+/// a decode worker can finalize it while the next frame streams in.
+/// Produced by FpgaPipeline::capture_frame(), consumed by finalize_frame();
+/// a spent capture can be passed back to capture_frame() to recycle its bin
+/// storage.
+struct FpgaCapture {
+    std::vector<SaturatingAccumulator> bins;
+    std::uint64_t capture_cycles = 0;
+    std::uint64_t frame_samples = 0;
+};
+
 /// The FPGA pipeline model: stream in ADC words, get a deconvolved frame.
 class FpgaPipeline {
 public:
@@ -84,7 +95,8 @@ public:
     const FpgaConfig& config() const { return config_; }
     const FrameLayout& layout() const { return layout_; }
 
-    /// Reset accumulators and cycle counters for a new frame.
+    /// Reset accumulators and cycle counters for a new frame. report() is
+    /// untouched: it keeps the last finalized frame's accounting.
     void begin_frame();
 
     /// Stream a block of digitized samples in frame order (drift-major:
@@ -94,10 +106,22 @@ public:
 
     /// Finish the frame: run the fixed-point enhanced deconvolution over
     /// every m/z channel and return the result (converted to doubles in
-    /// detector-count units).
+    /// detector-count units). Equivalent to finalize_frame(capture_frame()).
     Frame end_frame();
 
-    /// Accounting for the frame finished by the last end_frame().
+    /// Detach the accumulated frame so capture of the next one can start
+    /// immediately (no begin_frame() needed): returns the bins and cycle
+    /// counters streamed so far and resets the capture state. `reuse`
+    /// donates the bin storage of a finalized capture, avoiding a
+    /// reallocation per frame.
+    FpgaCapture capture_frame(FpgaCapture reuse = {});
+
+    /// Decode a detached capture. Touches only decode scratch and report(),
+    /// never the capture state: safe to run on a different thread than
+    /// push_samples()/capture_frame(), one finalize at a time.
+    Frame finalize_frame(const FpgaCapture& capture);
+
+    /// Accounting for the last finalized frame.
     const FpgaCycleReport& report() const { return report_; }
 
     /// Attach a fault injector. A fired fault::Site::kFpgaOverrun models a
@@ -112,8 +136,10 @@ public:
     double sustained_sample_rate(std::size_t averages) const;
 
 private:
-    void decode_channel_pulsed(std::size_t mz, Frame& out);
-    void decode_channel_stretched(std::size_t mz, Frame& out);
+    void decode_channel_pulsed(const std::vector<SaturatingAccumulator>& bins,
+                               std::size_t mz, Frame& out);
+    void decode_channel_stretched(const std::vector<SaturatingAccumulator>& bins,
+                                  std::size_t mz, Frame& out);
 
     /// One integer simplex decode: input in acc units, output scaled by
     /// 2^(order-1) (i.e. w = -(N+1)/2 * x, exact in int64).
@@ -128,7 +154,10 @@ private:
     fault::FaultInjector* faults_ = nullptr;
     std::vector<SaturatingAccumulator> bins_;
     std::size_t stream_pos_ = 0;
-    std::uint64_t frame_samples_ = 0;  ///< samples streamed into this frame
+    std::uint64_t frame_samples_ = 0;   ///< samples streamed into this frame
+    std::uint64_t capture_cycles_ = 0;  ///< ingest cycles charged this frame
+    std::size_t bram_bytes_used_ = 0;   ///< fixed at construction
+    bool fits_bram_ = true;             ///< fixed at construction
     FpgaCycleReport report_;
 
     // Integer scratch.

@@ -2,7 +2,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -22,6 +28,81 @@ struct Block {
     std::size_t size = 0;
     std::uint64_t seq = 0;
     bool end = false;
+};
+
+/// Handoff between the consumer and the decode worker in overlapped-decode
+/// mode: a pool of reusable buffers ("free") and a FIFO of closed frames
+/// awaiting decode ("work"). A single worker drains the FIFO, so results
+/// complete in frame order with no reordering machinery. close() releases
+/// the worker once the stream ends; abort() releases a consumer blocked on
+/// pop_free() when the worker dies mid-run (no buffer would ever return).
+template <typename Job>
+class DecodeChannel {
+public:
+    void push_free(Job job) {
+        {
+            std::lock_guard lock(mutex_);
+            free_.push_back(std::move(job));
+        }
+        cv_free_.notify_one();
+    }
+
+    /// Blocks until a spent buffer comes back; nullopt after abort().
+    std::optional<Job> pop_free() {
+        std::unique_lock lock(mutex_);
+        cv_free_.wait(lock, [&] { return !free_.empty() || aborted_; });
+        if (free_.empty()) return std::nullopt;
+        Job job = std::move(free_.front());
+        free_.pop_front();
+        return job;
+    }
+
+    /// Queue a closed frame; returns the queue depth just after the push.
+    std::size_t push_work(Job job) {
+        std::size_t depth = 0;
+        {
+            std::lock_guard lock(mutex_);
+            work_.push_back(std::move(job));
+            depth = work_.size();
+        }
+        cv_work_.notify_one();
+        return depth;
+    }
+
+    /// Blocks for the next closed frame; nullopt once closed and drained.
+    std::optional<Job> pop_work() {
+        std::unique_lock lock(mutex_);
+        cv_work_.wait(lock, [&] { return !work_.empty() || closed_; });
+        if (work_.empty()) return std::nullopt;
+        Job job = std::move(work_.front());
+        work_.pop_front();
+        return job;
+    }
+
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        cv_work_.notify_all();
+    }
+
+    void abort() {
+        {
+            std::lock_guard lock(mutex_);
+            aborted_ = true;
+        }
+        cv_free_.notify_all();
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_free_;
+    std::condition_variable cv_work_;
+    std::deque<Job> free_;
+    std::deque<Job> work_;
+    bool closed_ = false;
+    bool aborted_ = false;
 };
 
 }  // namespace
@@ -53,6 +134,8 @@ HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
         throw ConfigError("ring_timeout_s cannot be negative");
     if (config.cpu_max_retries < 0)
         throw ConfigError("cpu_max_retries cannot be negative");
+    if (config.overlap_decode && config.decode_buffers < 2)
+        throw ConfigError("overlap_decode needs decode_buffers >= 2");
 }
 
 HybridReport HybridPipeline::run() {
@@ -69,13 +152,17 @@ HybridReport HybridPipeline::run() {
     static auto& c_stalls = tel.counter("hybrid.producer_stalls");
     static auto& c_idles = tel.counter("hybrid.consumer_idles");
     static auto& c_rec_dropped = tel.counter("hybrid.records_dropped");
-    static auto& c_frames_dropped = tel.counter("hybrid.frames_dropped");
+    static auto& c_frames_degraded = tel.counter("hybrid.frames_degraded");
     static auto& c_jitter = tel.counter("hybrid.link_jitter_events");
     static auto& g_ring = tel.gauge("hybrid.ring_occupancy");
+    static auto& g_decode_q = tel.gauge("hybrid.decode_queue_depth");
     static auto& h_ring = tel.histogram("hybrid.ring_occupancy");
+    static auto& h_decode_q = tel.histogram("hybrid.decode_queue_depth");
     static auto& h_stall = tel.histogram("hybrid.producer_stall_ns");
     static auto& h_idle = tel.histogram("hybrid.consumer_idle_ns");
     static auto& h_frame = tel.histogram("hybrid.frame_ns");
+    static auto& h_overlap = tel.histogram("hybrid.decode_overlap_ns");
+    static auto& h_dwait = tel.histogram("hybrid.decode_wait_ns");
     static const auto kStageRun = tel.intern("hybrid.run");
     static const auto kStageFrame = tel.intern("hybrid.frame");
     const bool tel_on = telemetry::kCompiledIn && tel.enabled();
@@ -101,8 +188,12 @@ HybridReport HybridPipeline::run() {
             const bool bounded = config_.ring_timeout_s > 0.0 && !block.end;
             while (!ring.try_push(Block{block})) {
                 if (bounded && stall.seconds() > config_.ring_timeout_s) {
-                    producer_stall += stall.seconds();
-                    if (tel_on) c_stalls.increment();
+                    const double stalled = stall.seconds();
+                    producer_stall += stalled;
+                    if (tel_on) {
+                        c_stalls.increment();
+                        h_stall.observe(static_cast<std::uint64_t>(stalled * 1e9));
+                    }
                     return false;
                 }
                 std::this_thread::yield();
@@ -154,7 +245,21 @@ HybridReport HybridPipeline::run() {
                     break;
                 case RingFullPolicy::kDropOldest:
                     drop_credits.fetch_add(1, std::memory_order_release);
-                    push_blocking(block);
+                    if (!push_blocking(block)) {
+                        // The bounded wait expired too: this record is lost
+                        // to the timeout (the consumer sees the seq gap), so
+                        // revoke the credit if it is still unspent —
+                        // otherwise the consumer would later discard a live
+                        // record that displaced nothing, dropping two
+                        // records for one overrun.
+                        std::uint64_t credits =
+                            drop_credits.load(std::memory_order_acquire);
+                        while (credits > 0 &&
+                               !drop_credits.compare_exchange_weak(
+                                   credits, credits - 1,
+                                   std::memory_order_acq_rel)) {
+                        }
+                    }
                     break;
             }
         }
@@ -178,36 +283,40 @@ HybridReport HybridPipeline::run() {
             degraded[static_cast<std::size_t>(f)] = 1;
     };
 
-    // The consumer samples ring occupancy as it pops (the reading the
-    // paper's backpressure argument cares about) and closes a stage span
-    // per completed frame.
-    std::uint64_t frame_start_ns = tel_on ? telemetry::now_ns() : 0;
-    const auto frame_done = [&] {
-        ++report.frames;
-        if (!tel_on) return;
-        c_frames.increment();
-        const std::uint64_t now = telemetry::now_ns();
-        h_frame.observe(now - frame_start_ns);
-        tel.trace().record(telemetry::SpanEvent{
-            kStageFrame, telemetry::thread_slot(), 1, frame_start_ns, now});
-        frame_start_ns = now;
+    // Frame-completion telemetry mark. Whichever thread finishes decodes
+    // owns one instance (the consumer synchronously, the decode worker in
+    // overlap mode); each instance measures the gap between its own calls.
+    const auto make_frame_marker = [&] {
+        return [&, start_ns = tel_on ? telemetry::now_ns() : 0]() mutable {
+            if (!tel_on) return;
+            c_frames.increment();
+            const std::uint64_t now = telemetry::now_ns();
+            h_frame.observe(now - start_ns);
+            tel.trace().record(telemetry::SpanEvent{
+                kStageFrame, telemetry::thread_slot(), 1, start_ns, now});
+            start_ns = now;
+        };
     };
 
     // Backend-agnostic consumer: `accumulate` folds one record in,
-    // `close_frame` finishes the frame currently being assembled. Frames
-    // are closed by watching the sequence tags, so frames whose trailing
-    // records were dropped still close (as degraded frames).
+    // `close_frame(index, more_frames)` finishes the frame currently being
+    // assembled. Frames are closed by watching the sequence tags, so frames
+    // whose trailing records were dropped still close (as degraded frames).
+    // The consumer samples ring occupancy as it pops — the reading the
+    // paper's backpressure argument cares about.
+    bool stream_done = false;  // consumer saw the end sentinel
     const auto consume = [&](auto&& accumulate, auto&& close_frame) {
         std::uint64_t next_seq = 0;       // next record index expected
         std::uint64_t frames_closed = 0;  // frames finished so far
         const auto close_through = [&](std::uint64_t frame_limit) {
             while (frames_closed < frame_limit) {
-                close_frame(frames_closed < config_.frames - 1);
+                close_frame(static_cast<std::size_t>(frames_closed),
+                            frames_closed < config_.frames - 1);
+                ++report.frames;
                 if (degraded[static_cast<std::size_t>(frames_closed)] != 0) {
                     ++report.frames_degraded;
-                    if (tel_on) c_frames_dropped.increment();
+                    if (tel_on) c_frames_degraded.increment();
                 }
-                frame_done();
                 ++frames_closed;
             }
         };
@@ -228,7 +337,10 @@ HybridReport HybridPipeline::run() {
                 g_ring.set(depth);
                 h_ring.observe(static_cast<std::uint64_t>(depth));
             }
-            if (block->end) break;
+            if (block->end) {
+                stream_done = true;
+                break;
+            }
             if (block->seq > next_seq) mark_dropped_range(next_seq, block->seq);
             next_seq = block->seq + 1;
             close_through(block->seq / records_per_frame);
@@ -255,41 +367,221 @@ HybridReport HybridPipeline::run() {
         close_through(config_.frames);
     };
 
-    if (config_.backend == BackendKind::kFpga) {
-        FpgaPipeline fpga(sequence_, layout_, config_.fpga);
-        if (faults != nullptr) fpga.set_faults(faults);
-        fpga.begin_frame();
-        consume(
-            [&](const Block& block) {
-                fpga.push_samples(std::span(block.data, block.size));
-            },
-            [&](bool more_frames) {
-                report.last_frame = fpga.end_frame();
-                report.fpga = fpga.report();
-                if (more_frames) fpga.begin_frame();
-            });
-    } else {
-        CpuBackend cpu(sequence_, layout_, config_.cpu_threads);
-        if (faults != nullptr)
-            cpu.set_faults(faults, config_.cpu_max_retries,
-                           config_.cpu_retry_backoff_s);
-        Frame accum(layout_);
-        consume(
-            [&](const Block& block) {
-                const std::size_t record_in_period =
-                    static_cast<std::size_t>(block.seq % records_per_period);
-                auto row = accum.record(record_in_period);
-                for (std::size_t i = 0; i < block.size; ++i)
-                    row[i] += static_cast<double>(block.data[i]);
-            },
-            [&](bool /*more_frames*/) {
-                report.last_frame = cpu.deconvolve(accum);
-                accum.fill(0.0);
-            });
-        report.cpu_task_retries = cpu.task_retries();
+    // Any consumer-side failure must still join the producer before it
+    // propagates, and an overlap decode worker must be joined before its
+    // channel leaves scope — hence the try blocks below.
+    std::exception_ptr failure;
+    try {
+        if (config_.backend == BackendKind::kFpga) {
+            FpgaPipeline fpga(sequence_, layout_, config_.fpga);
+            if (faults != nullptr) fpga.set_faults(faults);
+            fpga.begin_frame();
+            if (!config_.overlap_decode) {
+                auto frame_mark = make_frame_marker();
+                consume(
+                    [&](const Block& block) {
+                        fpga.push_samples(std::span(block.data, block.size));
+                    },
+                    [&](std::size_t index, bool more_frames) {
+                        report.last_frame = fpga.end_frame();
+                        report.fpga = fpga.report();
+                        if (config_.frame_sink)
+                            config_.frame_sink(index, report.last_frame);
+                        frame_mark();
+                        if (more_frames) fpga.begin_frame();
+                    });
+            } else {
+                // Overlapped decode: each closed frame's capture detaches
+                // from the pipeline so finalize (the whole fixed-point
+                // decode) runs on the worker while the next frame's samples
+                // stream into fresh bins.
+                struct Job {
+                    std::size_t index = 0;
+                    FpgaCapture capture;
+                };
+                DecodeChannel<Job> channel;
+                for (std::size_t i = 0; i + 1 < config_.decode_buffers; ++i)
+                    channel.push_free(Job{});  // bins allocated on first recycle
+
+                std::exception_ptr worker_failure;
+                std::thread worker([&] {
+                    auto frame_mark = make_frame_marker();
+                    try {
+                        while (auto job = channel.pop_work()) {
+                            const std::uint64_t t0 = tel_on ? telemetry::now_ns() : 0;
+                            Frame decoded = fpga.finalize_frame(job->capture);
+                            if (tel_on) h_overlap.observe(telemetry::now_ns() - t0);
+                            report.fpga = fpga.report();
+                            if (config_.frame_sink)
+                                config_.frame_sink(job->index, decoded);
+                            report.last_frame = std::move(decoded);
+                            frame_mark();
+                            channel.push_free(std::move(*job));
+                        }
+                    } catch (...) {
+                        worker_failure = std::current_exception();
+                        channel.abort();  // wake a consumer stuck in pop_free
+                        while (channel.pop_work()) {
+                        }  // drain handoffs until the consumer closes
+                    }
+                });
+                bool decode_down = false;
+                try {
+                    consume(
+                        [&](const Block& block) {
+                            if (decode_down) return;
+                            fpga.push_samples(std::span(block.data, block.size));
+                        },
+                        [&](std::size_t index, bool /*more_frames*/) {
+                            if (decode_down) return;
+                            WallTimer wait;
+                            auto spent = channel.pop_free();
+                            const double waited = wait.seconds();
+                            report.decode_wait_seconds += waited;
+                            if (tel_on)
+                                h_dwait.observe(
+                                    static_cast<std::uint64_t>(waited * 1e9));
+                            if (!spent) {
+                                decode_down = true;  // worker died; keep draining
+                                return;
+                            }
+                            const std::size_t depth = channel.push_work(Job{
+                                index, fpga.capture_frame(std::move(spent->capture))});
+                            if (tel_on) {
+                                g_decode_q.set(static_cast<std::int64_t>(depth));
+                                h_decode_q.observe(depth);
+                            }
+                        });
+                } catch (...) {
+                    channel.close();
+                    worker.join();
+                    throw;
+                }
+                channel.close();
+                worker.join();
+                if (worker_failure) std::rethrow_exception(worker_failure);
+            }
+        } else {
+            CpuBackend cpu(sequence_, layout_, config_.cpu_threads);
+            if (faults != nullptr)
+                cpu.set_faults(faults, config_.cpu_max_retries,
+                               config_.cpu_retry_backoff_s);
+            if (!config_.overlap_decode) {
+                auto frame_mark = make_frame_marker();
+                Frame accum(layout_);
+                consume(
+                    [&](const Block& block) {
+                        const std::size_t record_in_period =
+                            static_cast<std::size_t>(block.seq % records_per_period);
+                        auto row = accum.record(record_in_period);
+                        for (std::size_t i = 0; i < block.size; ++i)
+                            row[i] += static_cast<double>(block.data[i]);
+                    },
+                    [&](std::size_t index, bool /*more_frames*/) {
+                        report.last_frame = cpu.deconvolve(accum);
+                        if (config_.frame_sink)
+                            config_.frame_sink(index, report.last_frame);
+                        frame_mark();
+                        accum.fill(0.0);
+                    });
+            } else {
+                // Overlapped decode: the consumer hands the accumulated
+                // frame off and resumes popping into a recycled buffer; the
+                // single worker keeps results in frame order.
+                struct Job {
+                    std::size_t index = 0;
+                    Frame frame;
+                };
+                DecodeChannel<Job> channel;
+                for (std::size_t i = 0; i + 1 < config_.decode_buffers; ++i)
+                    channel.push_free(Job{0, Frame(layout_)});
+                Frame accum(layout_);
+
+                std::exception_ptr worker_failure;
+                std::thread worker([&] {
+                    auto frame_mark = make_frame_marker();
+                    try {
+                        while (auto job = channel.pop_work()) {
+                            const std::uint64_t t0 = tel_on ? telemetry::now_ns() : 0;
+                            Frame decoded = cpu.deconvolve(job->frame);
+                            if (tel_on) h_overlap.observe(telemetry::now_ns() - t0);
+                            if (config_.frame_sink)
+                                config_.frame_sink(job->index, decoded);
+                            report.last_frame = std::move(decoded);
+                            frame_mark();
+                            job->frame.fill(0.0);
+                            channel.push_free(std::move(*job));
+                        }
+                    } catch (...) {
+                        worker_failure = std::current_exception();
+                        channel.abort();
+                        while (channel.pop_work()) {
+                        }
+                    }
+                });
+                bool decode_down = false;
+                try {
+                    consume(
+                        [&](const Block& block) {
+                            if (decode_down) return;  // accum was handed off
+                            const std::size_t record_in_period =
+                                static_cast<std::size_t>(block.seq %
+                                                         records_per_period);
+                            auto row = accum.record(record_in_period);
+                            for (std::size_t i = 0; i < block.size; ++i)
+                                row[i] += static_cast<double>(block.data[i]);
+                        },
+                        [&](std::size_t index, bool more_frames) {
+                            if (decode_down) return;
+                            const std::size_t depth =
+                                channel.push_work(Job{index, std::move(accum)});
+                            if (tel_on) {
+                                g_decode_q.set(static_cast<std::int64_t>(depth));
+                                h_decode_q.observe(depth);
+                            }
+                            if (!more_frames) return;
+                            WallTimer wait;
+                            auto spent = channel.pop_free();
+                            const double waited = wait.seconds();
+                            report.decode_wait_seconds += waited;
+                            if (tel_on)
+                                h_dwait.observe(
+                                    static_cast<std::uint64_t>(waited * 1e9));
+                            if (!spent) {
+                                decode_down = true;
+                                return;
+                            }
+                            accum = std::move(spent->frame);
+                        });
+                } catch (...) {
+                    channel.close();
+                    worker.join();
+                    throw;
+                }
+                channel.close();
+                worker.join();
+                if (worker_failure) std::rethrow_exception(worker_failure);
+            }
+            report.cpu_task_retries = cpu.task_retries();
+        }
+    } catch (...) {
+        failure = std::current_exception();
+        // The producer only exits after delivering the sentinel: drain the
+        // link (discarding records) so it can, then join it below.
+        if (!stream_done) {
+            for (;;) {
+                auto block = ring.try_pop();
+                if (!block) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                if (block->end) break;
+            }
+        }
     }
 
     producer.join();
+    if (failure) std::rethrow_exception(failure);
     // Lossless-handoff postconditions, degraded-mode aware: the ring fully
     // drained, every configured frame was closed, and nothing was dropped
     // unless a drop policy or an injected fault was in play.

@@ -16,11 +16,20 @@
 // sequence-tagged so the consumer closes every configured frame even when
 // records were lost, and an optional FaultInjector drives deterministic
 // link jitter / forced-overrun / transient-CPU-failure scenarios. Every
-// drop is counted (hybrid.records_dropped, hybrid.frames_dropped) and
+// drop is counted (hybrid.records_dropped, hybrid.frames_degraded) and
 // surfaced in the HybridReport next to the injector's own counts.
+//
+// Overlapped decode (overlap_decode): by default the consumer deconvolves
+// each closed frame inline, so ring pops pause for the decode and the
+// producer stalls exactly when the paper's architecture says it shouldn't.
+// With overlap on, the consumer hands the closed frame to a single decode
+// worker and immediately resumes popping into a recycled buffer — capture
+// and deconvolution overlap as on the real XD1, and results still complete
+// in frame order, bit-identical to the synchronous path.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -56,6 +65,18 @@ struct HybridConfig {
                                     ///< on expiry the record is dropped
     int cpu_max_retries = 4;        ///< retry budget for transient CPU faults
     double cpu_retry_backoff_s = 50e-6;  ///< initial retry backoff (doubles)
+
+    bool overlap_decode = false;    ///< decode frame k on a worker thread
+                                    ///< while frame k+1 streams in
+    std::size_t decode_buffers = 2; ///< frames in flight with overlap on
+                                    ///< (one accumulating + the rest queued
+                                    ///< or decoding); must be >= 2
+
+    /// Optional per-frame sink, called once per decoded frame with its
+    /// index. Runs on the decode worker in overlap mode and on the consumer
+    /// otherwise; the call sequence is frame order in both.
+    std::function<void(std::size_t, const Frame&)> frame_sink;
+
     fault::FaultInjector* faults = nullptr;  ///< optional fault injection
 };
 
@@ -66,6 +87,8 @@ struct HybridReport {
     double wall_seconds = 0.0;
     double producer_stall_seconds = 0.0;  ///< time blocked on a full ring
     double consumer_idle_seconds = 0.0;   ///< time starved on an empty ring
+    double decode_wait_seconds = 0.0;     ///< overlap mode: consumer time
+                                          ///< blocked on a free decode buffer
     double sample_rate = 0.0;             ///< achieved samples/second
     FpgaCycleReport fpga{};               ///< last frame (FPGA backend only)
     Frame last_frame;                     ///< last deconvolved frame

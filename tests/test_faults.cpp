@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "common/error.hpp"
 #include "fault/fault.hpp"
 #include "pipeline/cpu_backend.hpp"
@@ -443,6 +445,149 @@ TEST(FaultedHybrid, SameSeedReproducesInjectionCountsExactly) {
     // naturally at this depth).
     EXPECT_EQ(first.records_dropped,
               first.faults.injected_at(fault::Site::kLinkOverrun));
+}
+
+TEST(FaultedHybrid, DropOldestTimeoutDropsEachDisplacedRecordExactlyOnce) {
+    // Regression: kDropOldest with ring_timeout_s grants a drop credit and
+    // then the bounded push itself can expire, dropping the same record a
+    // second time via the seq gap — the stale credit later discards a live
+    // record that displaced nothing. The credit must be revoked on expiry.
+    //
+    // Deterministic schedule: link jitter on every record paces the
+    // producer (>= 10us/record) so the link stays shallow while the
+    // consumer is live; the scheduled cpu.fail at frame 0's close then
+    // stalls the consumer for cpu_retry_backoff_s. During the stall the
+    // producer fills the 16-record link (seqs 32..47) and times out on each
+    // of seqs 48..61 — exactly 14 records, all in frame 1, each dropped
+    // exactly once. With the stale-credit bug the count doubles to 28.
+    const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);  // 31 records
+    const auto layout = small_layout(seq, 16);
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    fault::FaultInjector faults(
+        fault::FaultPlan::parse("seed=41,link.jitter=1,cpu.fail@0"));
+    HybridConfig cfg;
+    cfg.backend = BackendKind::kCpu;
+    cfg.frames = 2;
+    cfg.averages = 1;
+    cfg.ring_records = 16;
+    cfg.cpu_threads = 2;
+    cfg.ring_policy = RingFullPolicy::kDropOldest;
+    cfg.ring_timeout_s = 0.02;
+    cfg.cpu_retry_backoff_s = 1.5;  // the deterministic consumer stall
+    cfg.faults = &faults;
+    const auto report = HybridPipeline(seq, layout, period, cfg).run();
+    EXPECT_EQ(report.frames, 2u);
+    EXPECT_EQ(report.cpu_task_retries, 1u);
+    EXPECT_EQ(report.records_dropped, 14u);
+    EXPECT_EQ(report.frames_degraded, 1u);
+    // Every timed-out push is a real stall; the histogram must see them
+    // too (the timeout exit used to skip hybrid.producer_stall_ns).
+    EXPECT_GE(report.producer_stall_seconds, 14 * 0.02);
+    for (const auto& h : report.telemetry.histograms) {
+        if (h.name == "hybrid.producer_stall_ns") {
+            EXPECT_GE(h.summary.count, 14u);
+        }
+    }
+}
+
+// --------------------------------------------- overlap under fault grid ----
+
+struct FaultedDigestRun {
+    HybridReport report;
+    std::vector<std::uint64_t> digests;
+};
+
+FaultedDigestRun faulted_run(BackendKind backend, RingFullPolicy policy,
+                             const std::string& plan, bool overlap) {
+    const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
+    const auto layout = small_layout(seq, 8);
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    fault::FaultInjector faults(fault::FaultPlan::parse(plan));
+    auto cfg = drill_config(backend, &faults, policy, 1024);
+    cfg.cpu_retry_backoff_s = 0.0;
+    cfg.overlap_decode = overlap;
+    FaultedDigestRun run;
+    run.digests.assign(cfg.frames, 0);
+    cfg.frame_sink = [&run](std::size_t index, const Frame& frame) {
+        run.digests.at(index) = frame_digest(frame);
+    };
+    run.report = HybridPipeline(seq, layout, period, cfg).run();
+    return run;
+}
+
+TEST(FaultedHybridOverlap, MatrixMatchesSynchronousDigests) {
+    // {Block, DropNewest} x {CPU, FPGA} under link jitter + forced overruns
+    // (+ an FPGA budget overrun): with the link deeper than the stream,
+    // drops are exactly the forced records, so the whole degraded outcome
+    // is a function of the seed — the overlap path must reproduce every
+    // frame bit for bit.
+    const std::string plan =
+        "seed=31,link.overrun=0.02,link.jitter=0.01,fpga.overrun@1";
+    for (auto backend : {BackendKind::kCpu, BackendKind::kFpga}) {
+        for (auto policy :
+             {RingFullPolicy::kBlock, RingFullPolicy::kDropNewest}) {
+            const auto sync_run = faulted_run(backend, policy, plan, false);
+            const auto overlap_run = faulted_run(backend, policy, plan, true);
+            const auto tag = std::string(backend == BackendKind::kCpu ? "cpu"
+                                                                      : "fpga") +
+                             "/" +
+                             (policy == RingFullPolicy::kBlock ? "block"
+                                                               : "drop_newest");
+            EXPECT_EQ(overlap_run.digests, sync_run.digests) << tag;
+            EXPECT_EQ(overlap_run.report.records_dropped,
+                      sync_run.report.records_dropped)
+                << tag;
+            EXPECT_EQ(overlap_run.report.frames_degraded,
+                      sync_run.report.frames_degraded)
+                << tag;
+            EXPECT_EQ(overlap_run.report.faults, sync_run.report.faults) << tag;
+        }
+    }
+}
+
+TEST(FaultedHybridOverlap, DropOldestReproducesCountsAndInjections) {
+    // Under DropOldest the discarded record depends on what is queued at
+    // credit time (deliberately a function of link state, not only of the
+    // seed), so per-frame digest equality with the sync path is not defined
+    // — but the drop totals and injection counts are.
+    const std::string plan = "seed=32,link.overrun@2:9";
+    for (auto backend : {BackendKind::kCpu, BackendKind::kFpga}) {
+        const auto sync_run =
+            faulted_run(backend, RingFullPolicy::kDropOldest, plan, false);
+        const auto overlap_run =
+            faulted_run(backend, RingFullPolicy::kDropOldest, plan, true);
+        EXPECT_EQ(sync_run.report.records_dropped, 2u);
+        EXPECT_EQ(overlap_run.report.records_dropped, 2u);
+        EXPECT_EQ(overlap_run.report.frames, sync_run.report.frames);
+        EXPECT_EQ(overlap_run.report.faults, sync_run.report.faults);
+    }
+}
+
+TEST(FaultedHybridOverlap, CpuRetriesSurfaceIdentically) {
+    const auto sync_run =
+        faulted_run(BackendKind::kCpu, RingFullPolicy::kBlock, "cpu.fail@0", false);
+    const auto overlap_run =
+        faulted_run(BackendKind::kCpu, RingFullPolicy::kBlock, "cpu.fail@0", true);
+    EXPECT_EQ(overlap_run.digests, sync_run.digests);
+    EXPECT_EQ(sync_run.report.cpu_task_retries, 1u);
+    EXPECT_EQ(overlap_run.report.cpu_task_retries, 1u);
+}
+
+TEST(FaultedHybridOverlap, PersistentCpuFaultPropagatesFromWorker) {
+    // A decode failure on the worker must surface as the run's exception
+    // after both threads joined — not a deadlock, not std::terminate.
+    const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
+    const auto layout = small_layout(seq, 8);
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    for (bool overlap : {false, true}) {
+        fault::FaultInjector faults(fault::FaultPlan::parse("cpu.fail=1"));
+        auto cfg = drill_config(BackendKind::kCpu, &faults,
+                                RingFullPolicy::kBlock, 256);
+        cfg.cpu_retry_backoff_s = 0.0;
+        cfg.overlap_decode = overlap;
+        EXPECT_THROW(HybridPipeline(seq, layout, period, cfg).run(), Error)
+            << "overlap=" << overlap;
+    }
 }
 
 TEST(FaultedHybrid, BlockPolicyWithoutFaultsMatchesFaultFreeRun) {

@@ -16,6 +16,7 @@
 #include "pipeline/cpu_backend.hpp"
 #include "pipeline/fpga.hpp"
 #include "pipeline/frame.hpp"
+#include "pipeline/frame_io.hpp"
 #include "pipeline/hybrid.hpp"
 #include "pipeline/spsc_ring.hpp"
 
@@ -587,6 +588,103 @@ TEST(Hybrid, ToPeriodSamplesDividesByAverages) {
     raw.fill(10.0);
     const auto samples = to_period_samples(raw, 5);
     for (auto s : samples) EXPECT_EQ(s, 2u);
+}
+
+// ----------------------------------------------------- overlapped decode ----
+
+// One hybrid run with a per-frame digest sink; every decoded frame lands in
+// its slot, so a sync/overlap comparison checks each frame, not just the
+// last one.
+struct DigestRun {
+    HybridReport report;
+    std::vector<std::uint64_t> digests;
+};
+
+DigestRun digest_run(BackendKind backend, bool overlap, std::size_t buffers = 2) {
+    const prs::OversampledPrs seq(6, 1, prs::GateMode::kPulsed);
+    FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 8,
+                       .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells());
+    for (std::size_t i = 0; i < period.size(); ++i)
+        period[i] = static_cast<std::uint32_t>(i % 13);
+    HybridConfig cfg;
+    cfg.backend = backend;
+    cfg.frames = 4;
+    cfg.averages = 2;
+    cfg.cpu_threads = 2;
+    cfg.overlap_decode = overlap;
+    cfg.decode_buffers = buffers;
+    DigestRun run;
+    run.digests.assign(cfg.frames, 0);
+    cfg.frame_sink = [&run](std::size_t index, const Frame& frame) {
+        run.digests.at(index) = frame_digest(frame);
+    };
+    run.report = HybridPipeline(seq, layout, period, cfg).run();
+    EXPECT_EQ(run.report.frames, cfg.frames);
+    return run;
+}
+
+TEST(HybridOverlap, ConfigValidation) {
+    const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
+    FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 8,
+                       .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    HybridConfig cfg;
+    cfg.overlap_decode = true;
+    cfg.decode_buffers = 1;
+    EXPECT_THROW(HybridPipeline(seq, layout, period, cfg), ConfigError);
+    // A sub-2 buffer count is inert while overlap stays off.
+    cfg.overlap_decode = false;
+    EXPECT_NO_THROW(HybridPipeline(seq, layout, period, cfg));
+}
+
+TEST(HybridOverlap, CpuDigestsMatchSynchronousPath) {
+    const auto sync_run = digest_run(BackendKind::kCpu, false);
+    EXPECT_EQ(digest_run(BackendKind::kCpu, true).digests, sync_run.digests);
+    // Extra buffers deepen the handoff queue without changing results.
+    EXPECT_EQ(digest_run(BackendKind::kCpu, true, 3).digests, sync_run.digests);
+}
+
+TEST(HybridOverlap, FpgaDigestsMatchSynchronousPath) {
+    const auto sync_run = digest_run(BackendKind::kFpga, false);
+    const auto overlap_run = digest_run(BackendKind::kFpga, true);
+    EXPECT_EQ(overlap_run.digests, sync_run.digests);
+    EXPECT_EQ(digest_run(BackendKind::kFpga, true, 4).digests, sync_run.digests);
+    // The detached-capture accounting matches the synchronous reports too.
+    EXPECT_EQ(overlap_run.report.fpga.capture_cycles,
+              sync_run.report.fpga.capture_cycles);
+    EXPECT_EQ(overlap_run.report.fpga.deconv_cycles,
+              sync_run.report.fpga.deconv_cycles);
+}
+
+TEST(HybridOverlap, LastFrameIsTheFinalDecodedFrame) {
+    for (auto backend : {BackendKind::kCpu, BackendKind::kFpga}) {
+        const auto run = digest_run(backend, true);
+        EXPECT_EQ(frame_digest(run.report.last_frame), run.digests.back());
+        EXPECT_GE(run.report.decode_wait_seconds, 0.0);
+    }
+}
+
+TEST(HybridOverlap, FrameSinkRunsInFrameOrder) {
+    const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
+    FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 8,
+                       .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 2);
+    for (bool overlap : {false, true}) {
+        HybridConfig cfg;
+        cfg.backend = BackendKind::kCpu;
+        cfg.frames = 5;
+        cfg.cpu_threads = 2;
+        cfg.overlap_decode = overlap;
+        std::vector<std::size_t> order;
+        cfg.frame_sink = [&order](std::size_t index, const Frame&) {
+            order.push_back(index);
+        };
+        HybridPipeline(seq, layout, period, cfg).run();
+        ASSERT_EQ(order.size(), cfg.frames) << "overlap=" << overlap;
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i) << "overlap=" << overlap;
+    }
 }
 
 }  // namespace

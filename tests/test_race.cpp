@@ -7,7 +7,8 @@
 // `-fsanitize=thread`, where any unsynchronized access aborts the run —
 // these tests exist to give TSan the traffic patterns worth watching:
 // capacity-boundary ring handoff, grain-boundary parallel_for writes,
-// exporters snapshotting metrics mid-flight, and orchestrator start/stop.
+// exporters snapshotting metrics mid-flight, and orchestrator start/stop —
+// both synchronous and with the overlapped-decode worker in the loop.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -267,6 +268,50 @@ TEST(RaceHybrid, BackpressuredCpuRunsStartAndStopCleanly) {
         htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
         const auto report = pipeline.run();
         EXPECT_EQ(report.frames, 2u);
+    }
+}
+
+// Overlapped decode adds a third thread (the decode worker) and a buffer
+// handoff channel to the start/stop picture: producer → ring → consumer →
+// channel → worker, with frames recycled back through the free list. The
+// shallow ring keeps the producer backpressured while the channel cycles
+// buffers at frame rate, so TSan watches every edge of the handoff under
+// load, including worker join on shutdown.
+TEST(RaceHybrid, OverlappedFpgaDecodeStartsAndStopsCleanly) {
+    const htims::prs::OversampledPrs seq(5, 1, htims::prs::GateMode::kPulsed);
+    const htims::pipeline::FrameLayout layout{
+        .drift_bins = seq.length(), .mz_bins = 8, .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 2);
+    htims::pipeline::HybridConfig cfg;
+    cfg.backend = htims::pipeline::BackendKind::kFpga;
+    cfg.frames = 3;
+    cfg.averages = 2;
+    cfg.ring_records = 2;
+    cfg.overlap_decode = true;
+    for (int run = 0; run < 3; ++run) {
+        htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
+        const auto report = pipeline.run();
+        EXPECT_EQ(report.frames, 3u);
+        EXPECT_EQ(report.samples, 3u * 2u * layout.cells());
+    }
+}
+
+TEST(RaceHybrid, OverlappedCpuDecodeStartsAndStopsCleanly) {
+    const htims::prs::OversampledPrs seq(5, 1, htims::prs::GateMode::kPulsed);
+    const htims::pipeline::FrameLayout layout{
+        .drift_bins = seq.length(), .mz_bins = 8, .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    htims::pipeline::HybridConfig cfg;
+    cfg.backend = htims::pipeline::BackendKind::kCpu;
+    cfg.frames = 3;
+    cfg.cpu_threads = 2;
+    cfg.ring_records = 2;
+    cfg.overlap_decode = true;
+    cfg.decode_buffers = 3;  // deeper free list: worker and consumer overlap
+    for (int run = 0; run < 3; ++run) {
+        htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
+        const auto report = pipeline.run();
+        EXPECT_EQ(report.frames, 3u);
     }
 }
 
