@@ -11,8 +11,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/htims.hpp"
+#include "store/frame_store.hpp"
+#include "store/replay.hpp"
 
 using namespace htims;
 
@@ -34,6 +37,14 @@ void usage() {
         "  --overlap             also stream the frame through the hybrid\n"
         "                        pipeline, synchronous vs overlapped decode,\n"
         "                        and report the overlap speedup\n"
+        "  --record PATH         stream the acquired frame through the hybrid\n"
+        "                        pipeline and persist the run in an mmap frame\n"
+        "                        store (replayable with --replay)\n"
+        "  --replay PATH         replay a recorded store through the hybrid\n"
+        "                        pipeline instead of streaming the template\n"
+        "                        (layout must match --order/--oversampling)\n"
+        "  --replay-rate X       playback speed vs the recorded line rate\n"
+        "                        (default 0 = as fast as the link accepts)\n"
         "  --save PATH           write the deconvolved frame (binary)\n"
         "  --csv                 print the feature table as CSV\n"
         "  --telemetry           print the telemetry report after the run\n"
@@ -48,6 +59,9 @@ int main(int argc, char** argv) {
     std::string sample = "mix";
     std::size_t digest_count = 100;
     std::string save_path;
+    std::string record_path;
+    std::string replay_path;
+    double replay_rate = 0.0;
     std::string telemetry_json_path;
     bool csv = false;
     bool telemetry = false;
@@ -99,6 +113,12 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--overlap") {
             overlap = true;
+        } else if (arg == "--record") {
+            record_path = next();
+        } else if (arg == "--replay") {
+            replay_path = next();
+        } else if (arg == "--replay-rate") {
+            replay_rate = std::atof(next().c_str());
         } else if (arg == "--save") {
             save_path = next();
         } else if (arg == "--csv") {
@@ -212,6 +232,77 @@ int main(int argc, char** argv) {
                       << ", decode-wait "
                       << format_double(overlap_report.decode_wait_seconds * 1e3, 2)
                       << " ms)\n";
+        }
+
+        if (!record_path.empty() || !replay_path.empty()) {
+            // Record: persist the streamed run (the input side of the link)
+            // in an mmap store, then decode it live for reference digests.
+            // Replay: serve a store back through the same pipeline. The
+            // printed per-run digest is identical between a --record run and
+            // a --replay of the store it wrote — that is the determinism
+            // contract the store exists to keep.
+            pipeline::HybridConfig hcfg;
+            hcfg.backend = cfg.backend;
+            hcfg.averages = cfg.acquisition.averages;
+            hcfg.cpu_threads = cfg.cpu_threads;
+            hcfg.fpga = cfg.fpga;
+            std::vector<std::uint64_t> digests;
+            hcfg.frame_sink = [&](std::size_t, const pipeline::Frame& f) {
+                digests.push_back(pipeline::frame_digest(f));
+            };
+            std::uint64_t digest = 14695981039346656037ULL;  // FNV offset
+            const auto fold = [&](std::uint64_t d) {
+                digest = (digest ^ d) * 1099511628211ULL;
+            };
+
+            if (!record_path.empty()) {
+                hcfg.frames = 4;
+                const auto period = pipeline::to_period_samples(
+                    run.acquisition.raw, cfg.acquisition.averages);
+                store::StoreMeta meta{simulator.layout(),
+                                      cfg.acquisition.averages};
+                store::FrameStoreWriter writer(record_path, meta);
+                const auto streamed =
+                    store::period_to_frame(simulator.layout(), period);
+                for (std::uint64_t f = 0; f < hcfg.frames; ++f)
+                    writer.append(streamed, f);
+                writer.finalize();
+                pipeline::HybridPipeline live(simulator.engine().sequence(),
+                                              simulator.layout(), period, hcfg);
+                const auto live_report = live.run();
+                for (const auto d : digests) fold(d);
+                std::cout << "store: recorded " << writer.frames()
+                          << " frames (" << writer.data_bytes()
+                          << " data bytes) to " << record_path << "\n"
+                          << "store: live run digest " << digest << " at "
+                          << format_double(live_report.sample_rate / 1e6, 2)
+                          << " Msamples/s\n";
+            } else {
+                store::FrameStoreReader reader(replay_path);
+                if (!(reader.layout() == simulator.layout())) {
+                    std::cerr << "error: store layout "
+                              << reader.layout().drift_bins << " x "
+                              << reader.layout().mz_bins
+                              << " does not match the configured run\n";
+                    return 1;
+                }
+                store::ReplaySource source(reader,
+                                           store::ReplayConfig{replay_rate});
+                hcfg.frames = source.frames();
+                hcfg.averages = reader.averages();
+                pipeline::HybridPipeline pipe(simulator.engine().sequence(),
+                                              reader.layout(), source, hcfg);
+                const auto replay_report = pipe.run();
+                for (const auto d : digests) fold(d);
+                std::cout << "store: replayed " << source.frames()
+                          << " frames from " << replay_path << " ("
+                          << (reader.indexed() ? "indexed" : "resync-recovered")
+                          << ", " << source.skipped() << " skipped)\n"
+                          << "store: replay digest " << digest << " at "
+                          << format_double(replay_report.sample_rate / 1e6, 2)
+                          << " Msamples/s, rate_x "
+                          << format_double(replay_rate, 2) << "\n";
+            }
         }
 
         if (!save_path.empty()) {

@@ -22,8 +22,9 @@
 #   lint      scripts/lint.sh: -Werror warning-clean build, clang-tidy when
 #             installed, and the repo-specific rules.
 #   faults    degraded-mode gate in build-check/: `ctest -L faults` (the
-#             fault-injection test suite) plus examples/fault_drill, a
-#             hybrid run under a canned ~1%-corruption/overrun FaultPlan
+#             fault-injection suite, the mmap-store corruption sweeps, and
+#             the store round-trip/recovery tests) plus examples/fault_drill,
+#             a hybrid run under a canned ~1%-corruption/overrun FaultPlan
 #             asserting zero contract aborts, exact injected-vs-recovered
 #             accounting, and seed-reproducible counts across two runs.
 #
@@ -110,7 +111,8 @@ if [[ "$run_faults" == 1 ]]; then
     # Reuses the tier-1 tree; a tier-1 failure already failed the gate, so
     # the rebuild here is a no-op in the common case.
     if cmake --build build-check -j "$jobs" \
-            --target test_faults fault_drill > /dev/null &&
+            --target test_faults test_store test_corruption fault_drill \
+            > /dev/null &&
         ctest --test-dir build-check -L faults --output-on-failure -j "$jobs" &&
         build-check/examples/fault_drill; then
         stage faults PASS

@@ -15,6 +15,7 @@ namespace {
 constexpr std::array<std::string_view, kSiteCount> kSiteNames = {
     "frame_io.corrupt", "frame_io.truncate", "link.jitter",
     "link.overrun",     "fpga.overrun",      "cpu.fail",
+    "store.torn_page",  "store.index_torn",
 };
 
 /// Pure 64-bit mixer over (seed, site, event, salt): one splitmix64 step per

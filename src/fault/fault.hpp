@@ -41,8 +41,12 @@ enum class Site : std::size_t {
     kLinkOverrun,       ///< hybrid producer: record arrives at a "full" link
     kFpgaOverrun,       ///< fpga: cycle budget exhausted -> partial frame
     kCpuFault,          ///< cpu backend: transient decode-task failure
+    kStoreTornPage,     ///< frame store: a page of an appended frame never
+                        ///< reaches disk (torn write across a power cut)
+    kStoreIndexTorn,    ///< frame store: finalize crashes mid-index — the
+                        ///< footer is partial or missing
 };
-inline constexpr std::size_t kSiteCount = 6;
+inline constexpr std::size_t kSiteCount = 8;
 
 /// Canonical dotted name of a site ("frame_io.corrupt", "link.overrun", ...).
 std::string_view site_name(Site site);
@@ -74,7 +78,8 @@ struct FaultPlan {
     ///   <site>=<prob>               Bernoulli probability in [0, 1]
     ///   <site>@<i>[:<i>...]         scheduled event indices
     /// Sites: frame_io.corrupt, frame_io.truncate, link.jitter,
-    /// link.overrun, fpga.overrun, cpu.fail. Example:
+    /// link.overrun, fpga.overrun, cpu.fail, store.torn_page,
+    /// store.index_torn. Example:
     ///   "seed=42,frame_io.corrupt=0.01,link.overrun=0.01,cpu.fail@3:17"
     /// Throws ConfigError on malformed input.
     static FaultPlan parse(std::string_view spec);

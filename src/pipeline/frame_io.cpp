@@ -55,7 +55,7 @@ std::uint32_t header_crc_of(Header header) {
     return crc32(&header, sizeof(header));
 }
 
-Header make_header(const Frame& frame) {
+Header make_header(const Frame& frame, std::uint64_t seq) {
     const auto payload = frame.data();
     Header header{};
     header.magic = kMagic;
@@ -64,41 +64,9 @@ Header make_header(const Frame& frame) {
     header.mz_bins = frame.layout().mz_bins;
     header.drift_bin_width_s = frame.layout().drift_bin_width_s;
     header.payload_crc = crc32(payload.data(), payload.size() * sizeof(double));
+    header.reserved1[0] = seq;  // covered by the header CRC below
     header.header_crc = header_crc_of(header);
     return header;
-}
-
-/// Validate a header and decode its payload from `bytes + sizeof(Header)`.
-/// On success returns the frame; on failure throws htims::Error with the
-/// specific diagnostic. `avail` is the byte count from the header onward.
-Frame parse_frame(const char* bytes, std::size_t avail, std::size_t* consumed) {
-    if (avail < sizeof(Header)) throw Error("frame read failed: truncated header");
-    Header header{};
-    std::memcpy(&header, bytes, sizeof(header));
-    if (header.magic != kMagic) throw Error("frame read failed: bad magic");
-    if (header.version != kVersion)
-        throw Error("frame read failed: unsupported version " +
-                    std::to_string(header.version));
-    if (header_crc_of(header) != header.header_crc)
-        throw Error("frame read failed: header CRC mismatch");
-    if (header.drift_bins == 0 || header.mz_bins == 0 ||
-        header.drift_bins > (1u << 24) || header.mz_bins > (1u << 24))
-        throw Error("frame read failed: implausible layout");
-
-    FrameLayout layout{.drift_bins = static_cast<std::size_t>(header.drift_bins),
-                       .mz_bins = static_cast<std::size_t>(header.mz_bins),
-                       .drift_bin_width_s = header.drift_bin_width_s};
-    Frame frame(layout);
-    HTIMS_DCHECK(frame.data().size() == layout.cells(),
-                 "decoded frame storage matches the validated header");
-    const std::size_t payload_bytes = frame.data().size() * sizeof(double);
-    if (avail - sizeof(Header) < payload_bytes)
-        throw Error("frame read failed: truncated payload");
-    std::memcpy(frame.data().data(), bytes + sizeof(Header), payload_bytes);
-    if (crc32(frame.data().data(), payload_bytes) != header.payload_crc)
-        throw Error("frame read failed: payload CRC mismatch");
-    *consumed = sizeof(Header) + payload_bytes;
-    return frame;
 }
 
 }  // namespace
@@ -134,8 +102,61 @@ std::uint64_t frame_digest(const Frame& frame, double quantization) {
     return h;
 }
 
+std::size_t frame_container_bytes(const FrameLayout& layout) {
+    return sizeof(Header) + layout.cells() * sizeof(double);
+}
+
+std::size_t frame_container_bytes(const Frame& frame) {
+    return frame_container_bytes(frame.layout());
+}
+
+std::size_t serialize_frame(const Frame& frame, std::span<std::byte> dst,
+                            std::uint64_t seq) {
+    const std::size_t total = frame_container_bytes(frame);
+    HTIMS_EXPECTS(dst.size() >= total);
+    const Header header = make_header(frame, seq);
+    const auto payload = frame.data();
+    std::memcpy(dst.data(), &header, sizeof(header));
+    std::memcpy(dst.data() + sizeof(header), payload.data(),
+                payload.size() * sizeof(double));
+    return total;
+}
+
+Frame parse_frame(std::span<const std::byte> bytes, std::size_t* consumed,
+                  std::uint64_t* seq) {
+    if (bytes.size() < sizeof(Header))
+        throw Error("frame read failed: truncated header");
+    Header header{};
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    if (header.magic != kMagic) throw Error("frame read failed: bad magic");
+    if (header.version != kVersion)
+        throw Error("frame read failed: unsupported version " +
+                    std::to_string(header.version));
+    if (header_crc_of(header) != header.header_crc)
+        throw Error("frame read failed: header CRC mismatch");
+    if (header.drift_bins == 0 || header.mz_bins == 0 ||
+        header.drift_bins > (1u << 24) || header.mz_bins > (1u << 24))
+        throw Error("frame read failed: implausible layout");
+
+    FrameLayout layout{.drift_bins = static_cast<std::size_t>(header.drift_bins),
+                       .mz_bins = static_cast<std::size_t>(header.mz_bins),
+                       .drift_bin_width_s = header.drift_bin_width_s};
+    Frame frame(layout);
+    HTIMS_DCHECK(frame.data().size() == layout.cells(),
+                 "decoded frame storage matches the validated header");
+    const std::size_t payload_bytes = frame.data().size() * sizeof(double);
+    if (bytes.size() - sizeof(Header) < payload_bytes)
+        throw Error("frame read failed: truncated payload");
+    std::memcpy(frame.data().data(), bytes.data() + sizeof(Header), payload_bytes);
+    if (crc32(frame.data().data(), payload_bytes) != header.payload_crc)
+        throw Error("frame read failed: payload CRC mismatch");
+    *consumed = sizeof(Header) + payload_bytes;
+    if (seq != nullptr) *seq = header.reserved1[0];
+    return frame;
+}
+
 void write_frame(std::ostream& os, const Frame& frame) {
-    const Header header = make_header(frame);
+    const Header header = make_header(frame, 0);
     const auto payload = frame.data();
     os.write(reinterpret_cast<const char*>(&header), sizeof(header));
     os.write(reinterpret_cast<const char*>(payload.data()),
@@ -145,16 +166,18 @@ void write_frame(std::ostream& os, const Frame& frame) {
 
 void write_frame(std::ostream& os, const Frame& frame,
                  fault::FaultInjector* faults) {
-    if (faults == nullptr) {
+    if (faults == nullptr ||
+        (!faults->plan().site(fault::Site::kFrameCorrupt).active() &&
+         !faults->plan().site(fault::Site::kFrameTruncate).active())) {
+        // No injector, or one with neither frame site armed: serialize
+        // header + payload in one pass with no intermediate buffer.
         write_frame(os, frame);
         return;
     }
-    const Header header = make_header(frame);
-    const auto payload = frame.data();
-    std::string bytes(sizeof(header) + payload.size() * sizeof(double), '\0');
-    std::memcpy(bytes.data(), &header, sizeof(header));
-    std::memcpy(bytes.data() + sizeof(header), payload.data(),
-                payload.size() * sizeof(double));
+    std::string bytes(frame_container_bytes(frame), '\0');
+    serialize_frame(frame,
+                    std::span(reinterpret_cast<std::byte*>(bytes.data()),
+                              bytes.size()));
 
     const auto corrupt = faults->decide(fault::Site::kFrameCorrupt);
     if (corrupt.fire) {
@@ -204,27 +227,47 @@ Frame read_frame(std::istream& is) {
     return frame;
 }
 
+namespace {
+
+/// The one open/validate path both convenience wrappers (and any future
+/// file-level helper) go through: binary mode, failure surfaced as Error.
+template <typename StreamT>
+StreamT open_binary(const std::string& path, const char* what) {
+    StreamT stream(path, std::ios::binary);
+    if (!stream) throw Error("cannot open " + path + " for " + what);
+    return stream;
+}
+
+}  // namespace
+
 void save_frame(const std::string& path, const Frame& frame) {
-    std::ofstream os(path, std::ios::binary);
-    if (!os) throw Error("cannot open " + path + " for writing");
+    auto os = open_binary<std::ofstream>(path, "writing");
     write_frame(os, frame);
 }
 
 Frame load_frame(const std::string& path) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) throw Error("cannot open " + path + " for reading");
+    auto is = open_binary<std::ifstream>(path, "reading");
     return read_frame(is);
 }
+
+FrameStreamReader::FrameStreamReader(std::span<const std::byte> bytes,
+                                     RecoveryMode mode)
+    : view_(bytes), mode_(mode) {}
 
 FrameStreamReader::FrameStreamReader(std::istream& is, RecoveryMode mode)
     : mode_(mode) {
     std::ostringstream slurp;
     slurp << is.rdbuf();
-    bytes_ = std::move(slurp).str();
+    owned_ = std::move(slurp).str();
+    view_ = std::span(reinterpret_cast<const std::byte*>(owned_.data()),
+                      owned_.size());
 }
 
 FrameStreamReader::FrameStreamReader(std::string bytes, RecoveryMode mode)
-    : bytes_(std::move(bytes)), mode_(mode) {}
+    : owned_(std::move(bytes)), mode_(mode) {
+    view_ = std::span(reinterpret_cast<const std::byte*>(owned_.data()),
+                      owned_.size());
+}
 
 std::optional<Frame> FrameStreamReader::next() {
     auto& tel = telemetry::Registry::global();
@@ -232,11 +275,10 @@ std::optional<Frame> FrameStreamReader::next() {
     static auto& c_resync = tel.counter("frame_io.frames_resynced");
     static auto& c_skipped = tel.counter("frame_io.bytes_skipped");
 
-    if (pos_ >= bytes_.size()) return std::nullopt;
+    if (pos_ >= view_.size()) return std::nullopt;
     std::size_t consumed = 0;
     try {
-        Frame frame = parse_frame(bytes_.data() + pos_, bytes_.size() - pos_,
-                                  &consumed);
+        Frame frame = parse_frame(view_.subspan(pos_), &consumed, &last_seq_);
         pos_ += consumed;
         ++stats_.frames_ok;
         return frame;
@@ -253,16 +295,18 @@ std::optional<Frame> FrameStreamReader::next() {
     static const std::array<char, 4> kMagicBytes = {0x53, 0x4D, 0x54, 0x48};
     const std::size_t lost_at = pos_;
     std::size_t scan = pos_ + 1;
-    while (scan + kMagicBytes.size() <= bytes_.size()) {
-        const auto* hit = static_cast<const char*>(
-            std::memchr(bytes_.data() + scan, kMagicBytes[0], bytes_.size() - scan));
+    while (scan + kMagicBytes.size() <= view_.size()) {
+        const auto* hit = static_cast<const std::byte*>(
+            std::memchr(view_.data() + scan,
+                        static_cast<unsigned char>(kMagicBytes[0]),
+                        view_.size() - scan));
         if (hit == nullptr) break;
-        const auto candidate = static_cast<std::size_t>(hit - bytes_.data());
-        if (candidate + kMagicBytes.size() > bytes_.size()) break;
+        const auto candidate = static_cast<std::size_t>(hit - view_.data());
+        if (candidate + kMagicBytes.size() > view_.size()) break;
         if (std::memcmp(hit, kMagicBytes.data(), kMagicBytes.size()) == 0) {
             try {
-                Frame frame = parse_frame(bytes_.data() + candidate,
-                                          bytes_.size() - candidate, &consumed);
+                Frame frame = parse_frame(view_.subspan(candidate), &consumed,
+                                          &last_seq_);
                 stats_.bytes_skipped += candidate - lost_at;
                 c_skipped.add(static_cast<std::int64_t>(candidate - lost_at));
                 ++stats_.resyncs;
@@ -277,9 +321,9 @@ std::optional<Frame> FrameStreamReader::next() {
         scan = candidate + 1;
     }
     // No recoverable frame remains; the tail is discarded.
-    stats_.bytes_skipped += bytes_.size() - lost_at;
-    c_skipped.add(static_cast<std::int64_t>(bytes_.size() - lost_at));
-    pos_ = bytes_.size();
+    stats_.bytes_skipped += view_.size() - lost_at;
+    c_skipped.add(static_cast<std::int64_t>(view_.size() - lost_at));
+    pos_ = view_.size();
     return std::nullopt;
 }
 

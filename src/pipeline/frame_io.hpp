@@ -21,9 +21,11 @@
 // frame_io.frames_resynced, frame_io.bytes_skipped).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "pipeline/frame.hpp"
@@ -48,6 +50,28 @@ std::uint64_t fnv1a64(const void* data, std::size_t bytes,
 /// arithmetic so it is bit-stable across build types for pipelines whose
 /// cell values are exactly representable (integer-count domains).
 std::uint64_t frame_digest(const Frame& frame, double quantization = 256.0);
+
+/// Exact byte size of a frame (or layout) in the v2 container: the fixed
+/// 64-byte header plus the row-major float64 payload.
+std::size_t frame_container_bytes(const FrameLayout& layout);
+std::size_t frame_container_bytes(const Frame& frame);
+
+/// Serialize header + payload directly into `dst` (one pass, no intermediate
+/// buffer) — the primitive both stream writes and the mmap frame store share;
+/// the store hands in a view of its mapping, so frames are written in place.
+/// `seq` is an application sequence tag carried in a header reserved word
+/// (covered by the header CRC, ignored by readers that don't ask for it).
+/// Requires dst.size() >= frame_container_bytes(frame); returns bytes written.
+std::size_t serialize_frame(const Frame& frame, std::span<std::byte> dst,
+                            std::uint64_t seq = 0);
+
+/// Validate and decode one v2 container at the start of `bytes`. Throws
+/// htims::Error on bad magic, unsupported version, header CRC mismatch,
+/// implausible layout, truncated payload, or payload CRC mismatch. On
+/// success `*consumed` receives the container byte count and, when non-null,
+/// `*seq` the sequence tag the frame was written with.
+Frame parse_frame(std::span<const std::byte> bytes, std::size_t* consumed,
+                  std::uint64_t* seq = nullptr);
 
 /// Serialize a frame (header + payload) to a stream. Throws htims::Error on
 /// stream failure.
@@ -84,11 +108,15 @@ struct FrameStreamStats {
 };
 
 /// Sequential reader over a stream of concatenated frames with optional
-/// skip-and-resync recovery. The stream is slurped at construction (replay
-/// files are modest; in-memory scanning keeps resync O(bytes) with no
-/// seekability requirement on the istream).
+/// skip-and-resync recovery. The zero-copy constructor scans a caller-owned
+/// region in place (how the mmap frame store recovers a stored run without
+/// ever copying it); the slurp constructors delegate to it after buffering
+/// streams whose bytes the caller doesn't hold.
 class FrameStreamReader {
 public:
+    /// Zero-copy: scan `bytes` in place. The region must outlive the reader.
+    explicit FrameStreamReader(std::span<const std::byte> bytes,
+                               RecoveryMode mode = RecoveryMode::kResync);
     explicit FrameStreamReader(std::istream& is,
                                RecoveryMode mode = RecoveryMode::kResync);
     explicit FrameStreamReader(std::string bytes,
@@ -100,14 +128,25 @@ public:
     std::optional<Frame> next();
 
     /// True once the reader has consumed or discarded every byte.
-    bool exhausted() const { return pos_ >= bytes_.size(); }
+    bool exhausted() const { return pos_ >= view_.size(); }
+
+    /// Byte offset of the next unconsumed byte — after a successful next(),
+    /// the returned frame's container ends exactly here (its start is
+    /// offset() - frame_container_bytes(frame)), which is how the frame
+    /// store rebuilds an index from a resync scan.
+    std::size_t offset() const { return pos_; }
+
+    /// Sequence tag of the last frame next() returned (0 before the first).
+    std::uint64_t last_seq() const { return last_seq_; }
 
     const FrameStreamStats& stats() const { return stats_; }
 
 private:
-    std::string bytes_;
+    std::string owned_;                 ///< backing bytes for slurp ctors
+    std::span<const std::byte> view_;   ///< the region being scanned
     std::size_t pos_ = 0;
     RecoveryMode mode_;
+    std::uint64_t last_seq_ = 0;
     FrameStreamStats stats_;
 };
 

@@ -107,6 +107,25 @@ private:
 
 }  // namespace
 
+PeriodTemplateSource::PeriodTemplateSource(std::vector<std::uint32_t> period_samples,
+                                           const FrameLayout& layout,
+                                           std::uint64_t frames,
+                                           std::uint64_t averages)
+    : period_samples_(std::move(period_samples)),
+      record_len_(layout.mz_bins),
+      records_per_period_(layout.drift_bins),
+      total_records_(frames * averages * layout.drift_bins) {
+    if (period_samples_.size() != layout.cells())
+        throw ConfigError("period sample template must have layout.cells() entries");
+}
+
+std::span<const std::uint32_t> PeriodTemplateSource::record(std::uint64_t seq) {
+    const std::size_t record_in_period =
+        static_cast<std::size_t>(seq % records_per_period_);
+    return std::span(period_samples_.data() + record_in_period * record_len_,
+                     record_len_);
+}
+
 std::vector<std::uint32_t> to_period_samples(const Frame& raw, std::size_t averages) {
     HTIMS_EXPECTS(averages >= 1);
     std::vector<std::uint32_t> samples(raw.data().size());
@@ -118,16 +137,9 @@ std::vector<std::uint32_t> to_period_samples(const Frame& raw, std::size_t avera
     return samples;
 }
 
-HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
-                               const FrameLayout& layout,
-                               std::vector<std::uint32_t> period_samples,
-                               const HybridConfig& config)
-    : sequence_(sequence),
-      layout_(layout),
-      period_samples_(std::move(period_samples)),
-      config_(config) {
-    if (period_samples_.size() != layout.cells())
-        throw ConfigError("period sample template must have layout.cells() entries");
+namespace {
+
+void validate_hybrid_config(const HybridConfig& config) {
     if (config.frames == 0 || config.averages == 0)
         throw ConfigError("hybrid run needs frames >= 1 and averages >= 1");
     if (config.ring_timeout_s < 0.0)
@@ -136,6 +148,33 @@ HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
         throw ConfigError("cpu_max_retries cannot be negative");
     if (config.overlap_decode && config.decode_buffers < 2)
         throw ConfigError("overlap_decode needs decode_buffers >= 2");
+}
+
+}  // namespace
+
+HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
+                               const FrameLayout& layout,
+                               std::vector<std::uint32_t> period_samples,
+                               const HybridConfig& config)
+    : sequence_(sequence), layout_(layout), config_(config) {
+    validate_hybrid_config(config);
+    template_source_.emplace(std::move(period_samples), layout,
+                             config.frames, config.averages);
+    source_ = &*template_source_;
+}
+
+HybridPipeline::HybridPipeline(const prs::OversampledPrs& sequence,
+                               const FrameLayout& layout, RecordSource& source,
+                               const HybridConfig& config)
+    : sequence_(sequence), layout_(layout), source_(&source), config_(config) {
+    validate_hybrid_config(config);
+    const std::uint64_t expected = static_cast<std::uint64_t>(config.frames) *
+                                   config.averages * layout.drift_bins;
+    if (source.total_records() != expected)
+        throw ConfigError("record source delivers " +
+                          std::to_string(source.total_records()) +
+                          " records; the configured run streams " +
+                          std::to_string(expected));
 }
 
 HybridReport HybridPipeline::run() {
@@ -171,6 +210,11 @@ HybridReport HybridPipeline::run() {
     SpscRing<Block> ring(config_.ring_records);
     HybridReport report;
     report.last_frame = Frame(layout_);
+    HTIMS_CHECK(source_ != nullptr && source_->total_records() == records_total,
+                "record source matches the configured stream");
+    // Ring capacity + the block the consumer holds + the one being pushed:
+    // the most record spans ever outstanding at once.
+    source_->set_window(config_.ring_records + 2);
 
     fault::FaultInjector* faults = config_.faults;
     // kDropOldest: the producer cannot pop an SPSC ring, so it grants the
@@ -209,11 +253,28 @@ HybridReport HybridPipeline::run() {
             return true;
         };
 
+        WallTimer stream_clock;  // release_ns pacing is relative to here
         for (std::uint64_t seq = 0; seq < records_total; ++seq) {
-            const std::size_t record_in_period =
-                static_cast<std::size_t>(seq % records_per_period);
-            Block block{period_samples_.data() + record_in_period * record_len,
-                        record_len, seq, false};
+            const auto row = source_->record(seq);
+            HTIMS_DCHECK(row.size() == record_len,
+                         "record source rows span the m/z axis");
+            Block block{row.data(), row.size(), seq, false};
+
+            // Line-rate pacing: sleep off the bulk of the wait, then spin
+            // the sub-scheduler-quantum tail so release jitter stays small.
+            const std::uint64_t release = source_->release_ns(seq);
+            if (release > 0) {
+                for (;;) {
+                    const double remain_s =
+                        static_cast<double>(release) * 1e-9 - stream_clock.seconds();
+                    if (remain_s <= 0.0) break;
+                    if (remain_s > 200e-6)
+                        std::this_thread::sleep_for(std::chrono::duration<double>(
+                            remain_s - 100e-6));
+                    else
+                        std::this_thread::yield();
+                }
+            }
 
             if (faults != nullptr) {
                 const auto jitter = faults->decide(fault::Site::kLinkJitter);

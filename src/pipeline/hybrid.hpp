@@ -30,6 +30,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -43,6 +45,56 @@ namespace htims::pipeline {
 
 /// Which processing component consumes the stream.
 enum class BackendKind { kFpga, kCpu };
+
+/// Where the producer's records come from. The built-in source replays a
+/// fixed period template (the simulated live instrument); the frame store's
+/// ReplaySource serves an archived run back through the same ring. The
+/// producer thread is the only caller of record(); sources need no locking.
+class RecordSource {
+public:
+    virtual ~RecordSource() = default;
+
+    /// Total records the stream delivers (must equal the run's
+    /// frames x averages x drift_bins).
+    virtual std::uint64_t total_records() const = 0;
+
+    /// One TOF record (mz_bins samples) for global record index `seq`.
+    /// The span must stay valid until `window` more records (see
+    /// set_window) have been requested — blocks queued in the ring still
+    /// point at it.
+    virtual std::span<const std::uint32_t> record(std::uint64_t seq) = 0;
+
+    /// Earliest release time for `seq`, in nanoseconds after stream start
+    /// (0 = release immediately). A replay paces the recorded line rate
+    /// here; the producer busy-waits the residual.
+    virtual std::uint64_t release_ns(std::uint64_t /*seq*/) const {
+        return 0;
+    }
+
+    /// The pipeline's guarantee to the source: at most `records` record
+    /// spans are outstanding (queued in the ring) at any moment. Called
+    /// once before streaming starts; sources that recycle backing buffers
+    /// size their retention window from it.
+    virtual void set_window(std::size_t records) { (void)records; }
+};
+
+/// The default source: one period of samples streamed repeatedly
+/// (averages x frames times), rows addressed by seq modulo the period.
+class PeriodTemplateSource final : public RecordSource {
+public:
+    PeriodTemplateSource(std::vector<std::uint32_t> period_samples,
+                         const FrameLayout& layout, std::uint64_t frames,
+                         std::uint64_t averages);
+
+    std::uint64_t total_records() const override { return total_records_; }
+    std::span<const std::uint32_t> record(std::uint64_t seq) override;
+
+private:
+    std::vector<std::uint32_t> period_samples_;
+    std::size_t record_len_ = 0;
+    std::size_t records_per_period_ = 0;
+    std::uint64_t total_records_ = 0;
+};
 
 /// What the producer does when a record arrives at a full ring.
 enum class RingFullPolicy {
@@ -120,6 +172,12 @@ public:
     HybridPipeline(const prs::OversampledPrs& sequence, const FrameLayout& layout,
                    std::vector<std::uint32_t> period_samples, const HybridConfig& config);
 
+    /// Stream from an external record source instead (e.g. the frame
+    /// store's ReplaySource). `source` must outlive the pipeline and
+    /// deliver exactly frames x averages x drift_bins records.
+    HybridPipeline(const prs::OversampledPrs& sequence, const FrameLayout& layout,
+                   RecordSource& source, const HybridConfig& config);
+
     const FrameLayout& layout() const { return layout_; }
 
     /// Execute the streaming run; blocking.
@@ -128,7 +186,8 @@ public:
 private:
     prs::OversampledPrs sequence_;
     FrameLayout layout_;
-    std::vector<std::uint32_t> period_samples_;
+    std::optional<PeriodTemplateSource> template_source_;
+    RecordSource* source_ = nullptr;
     HybridConfig config_;
 };
 

@@ -1,0 +1,142 @@
+#include "store/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace htims::store {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw Error("mmap store: " + what + " '" + path + "': " +
+                std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      writable_(std::exchange(other.writable_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        writable_ = std::exchange(other.writable_, false);
+    }
+    return *this;
+}
+
+MappedFile MappedFile::create(const std::string& path, std::size_t initial_bytes) {
+    HTIMS_EXPECTS(initial_bytes > 0);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("cannot create", path);
+    if (::ftruncate(fd, static_cast<off_t>(initial_bytes)) != 0) {
+        ::close(fd);
+        fail("cannot size", path);
+    }
+    void* map = ::mmap(nullptr, initial_bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    if (map == MAP_FAILED) {
+        ::close(fd);
+        fail("cannot map", path);
+    }
+    return MappedFile(fd, static_cast<std::byte*>(map), initial_bytes, true);
+}
+
+MappedFile MappedFile::open_readonly(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail("cannot open", path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        fail("cannot stat", path);
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // mmap(0) is invalid; an empty file is a valid (empty) store view.
+        return MappedFile(fd, nullptr, 0, false);
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (map == MAP_FAILED) {
+        ::close(fd);
+        fail("cannot map", path);
+    }
+    return MappedFile(fd, static_cast<std::byte*>(map), size, false);
+}
+
+void MappedFile::grow(std::size_t min_bytes) {
+    HTIMS_EXPECTS(writable_ && valid());
+    if (min_bytes <= size_) return;
+    // Exponential growth amortizes the remap across appends.
+    std::size_t next = size_;
+    while (next < min_bytes) next *= 2;
+    if (::munmap(data_, size_) != 0) fail("cannot unmap for growth", "");
+    data_ = nullptr;
+    if (::ftruncate(fd_, static_cast<off_t>(next)) != 0)
+        fail("cannot grow", "");
+    void* map = ::mmap(nullptr, next, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+    if (map == MAP_FAILED) fail("cannot remap", "");
+    data_ = static_cast<std::byte*>(map);
+    size_ = next;
+}
+
+void MappedFile::sync(std::size_t offset, std::size_t bytes) {
+    HTIMS_EXPECTS(writable_ && valid());
+    HTIMS_EXPECTS(offset + bytes <= size_);
+    // msync wants a page-aligned address; widen the range down to one.
+    const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t begin = (offset / page) * page;
+    if (::msync(data_ + begin, bytes + (offset - begin), MS_SYNC) != 0)
+        fail("cannot msync", "");
+}
+
+void MappedFile::close_truncated(std::size_t final_bytes) {
+    HTIMS_EXPECTS(writable_ && valid());
+    HTIMS_EXPECTS(final_bytes <= size_);
+    if (::munmap(data_, size_) != 0) fail("cannot unmap", "");
+    data_ = nullptr;
+    size_ = 0;
+    if (::ftruncate(fd_, static_cast<off_t>(final_bytes)) != 0)
+        fail("cannot truncate", "");
+    if (::fsync(fd_) != 0) fail("cannot fsync", "");
+    ::close(fd_);
+    fd_ = -1;
+    writable_ = false;
+}
+
+void MappedFile::close() {
+    if (data_ != nullptr) {
+        ::munmap(data_, size_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    writable_ = false;
+}
+
+void MappedFile::advise_dont_need() {
+    if (fd_ < 0) return;
+    if (data_ != nullptr) ::madvise(data_, size_, MADV_DONTNEED);
+    ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+}
+
+}  // namespace htims::store

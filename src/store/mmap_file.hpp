@@ -1,0 +1,74 @@
+// mmap_file.hpp — RAII memory-mapped file, the storage primitive of the
+// frame store.
+//
+// Two modes: a writable mapping (MAP_SHARED over a file the store grows
+// with ftruncate, so bytes written through the mapping are the bytes the
+// kernel persists — no write()-side copy) and a read-only mapping (how a
+// stored run is served: frames are parsed straight out of the page cache,
+// zero-copy until the payload lands in a Frame). Linux/POSIX only, like the
+// rest of the repo's runtime.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace htims::store {
+
+/// A memory-mapped file. Move-only; the mapping and descriptor close with
+/// the object. Growth remaps, so spans returned by data() are invalidated
+/// by grow() — callers (the store writer) re-derive pointers per append.
+class MappedFile {
+public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    /// Create (truncate) `path` and map it writable at `initial_bytes`.
+    static MappedFile create(const std::string& path, std::size_t initial_bytes);
+
+    /// Map an existing file read-only at its current size.
+    static MappedFile open_readonly(const std::string& path);
+
+    bool valid() const { return data_ != nullptr; }
+    std::size_t size() const { return size_; }
+
+    std::byte* data() { return data_; }
+    const std::byte* data() const { return data_; }
+    std::span<std::byte> span() { return {data_, size_}; }
+    std::span<const std::byte> span() const { return {data_, size_}; }
+
+    /// Grow the file (ftruncate) and remap; no-op when min_bytes <= size().
+    /// Writable mappings only.
+    void grow(std::size_t min_bytes);
+
+    /// Flush [offset, offset + bytes) to stable storage (msync MS_SYNC).
+    void sync(std::size_t offset, std::size_t bytes);
+
+    /// Unmap, truncate the file to `final_bytes`, fsync, and close — the
+    /// writer's last act, so the on-disk size is exact.
+    void close_truncated(std::size_t final_bytes);
+
+    /// Drop the mapping and descriptor (no truncate).
+    void close();
+
+    /// Best-effort eviction of the file's pages from the page cache
+    /// (posix_fadvise DONTNEED) — how the replay bench approximates a cold
+    /// first pass without root. Read-only mappings.
+    void advise_dont_need();
+
+private:
+    MappedFile(int fd, std::byte* data, std::size_t size, bool writable)
+        : fd_(fd), data_(data), size_(size), writable_(writable) {}
+
+    int fd_ = -1;
+    std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+    bool writable_ = false;
+};
+
+}  // namespace htims::store

@@ -11,13 +11,17 @@
 // machine-checked, not assumed.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "pipeline/frame_io.hpp"
 #include "prs/oversampled.hpp"
+#include "store/frame_store.hpp"
 
 namespace htims::pipeline {
 namespace {
@@ -145,6 +149,153 @@ TEST(CorruptionSweep, HeaderReservedBytesAreCovered) {
         }
         EXPECT_EQ(delivered, 2u) << "reserved-byte flip at " << pos;
     }
+}
+
+// ---------------------------------------------------------------------------
+// mmap frame store: the same integrity contract over the persistent arena.
+// A store truncated at any page boundary, or with its index footer damaged
+// or missing, must construct, serve exactly the frames that are fully
+// intact, and count every loss — never UB (the suite runs under ASan).
+
+namespace {
+
+std::string store_bytes(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A finalized three-frame store plus the originals it holds. The path is
+/// unique per test (ctest runs discovered tests concurrently).
+struct StoreFixture {
+    StoreFixture()
+        : path(::testing::TempDir() + "corruption_store_" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+               ".htstore") {
+        originals = sweep_frames();
+        store::StoreMeta meta{sweep_layout(), 1};
+        store::FrameStoreWriter writer(path, meta);
+        for (std::size_t k = 0; k < originals.size(); ++k)
+            writer.append(originals[k], k);
+        writer.finalize();
+        clean = store_bytes(path);
+    }
+    ~StoreFixture() { std::remove(path.c_str()); }
+
+    std::string path;
+    std::vector<Frame> originals;
+    std::string clean;
+};
+
+}  // namespace
+
+TEST(StoreCorruption, TruncationAtEveryPageBoundaryServesTheIntactPrefix) {
+    StoreFixture fx;
+    store::FrameStoreReader full(fx.path);
+    ASSERT_TRUE(full.indexed());
+    ASSERT_EQ(full.frames(), fx.originals.size());
+
+    for (std::size_t cut = 0; cut <= fx.clean.size();
+         cut += store::kStorePageBytes) {
+        write_bytes(fx.path, fx.clean.substr(0, cut));
+        if (cut < store::kStorePageBytes) {
+            // Not even a superblock: a diagnosable error, not UB.
+            EXPECT_THROW(store::FrameStoreReader{fx.path}, Error);
+            continue;
+        }
+        store::FrameStoreReader reader(fx.path);
+        // Frames whose whole container survived the cut, and only those.
+        std::size_t expect = 0;
+        for (std::size_t i = 0; i < full.frames(); ++i)
+            if (full.entry(i).offset + full.entry(i).bytes <= cut) ++expect;
+        ASSERT_EQ(reader.frames(), expect) << "cut at " << cut;
+        for (std::size_t i = 0; i < reader.frames(); ++i) {
+            const Frame f = reader.frame(i);
+            EXPECT_TRUE(frames_equal(f, fx.originals[i])) << "cut at " << cut;
+        }
+        // The footer can only have survived an uncut file.
+        EXPECT_EQ(reader.indexed(), cut == fx.clean.size());
+    }
+    write_bytes(fx.path, fx.clean);
+}
+
+TEST(StoreCorruption, EverySingleByteFlipInTheFooterFallsBackCleanly) {
+    StoreFixture fx;
+    // The footer is the last 64 bytes. Whatever bit dies there, the reader
+    // must either still validate it (flip in a reserved zero it checks via
+    // CRC — impossible to accept silently) or rebuild by resync and serve
+    // every frame.
+    for (std::size_t pos = fx.clean.size() - 64; pos < fx.clean.size(); ++pos) {
+        for (const unsigned char mask : {0x01u, 0x80u, 0xFFu}) {
+            std::string damaged = fx.clean;
+            damaged[pos] = static_cast<char>(
+                static_cast<unsigned char>(damaged[pos]) ^ mask);
+            write_bytes(fx.path, damaged);
+            store::FrameStoreReader reader(fx.path);
+            EXPECT_FALSE(reader.indexed())
+                << "footer flip at " << pos << " mask " << unsigned{mask}
+                << " was accepted";
+            ASSERT_EQ(reader.frames(), fx.originals.size());
+            for (std::size_t i = 0; i < reader.frames(); ++i)
+                EXPECT_TRUE(frames_equal(reader.frame(i), fx.originals[i]));
+        }
+    }
+    write_bytes(fx.path, fx.clean);
+}
+
+TEST(StoreCorruption, PartialIndexFooterFallsBackToLinearResync)
+{
+    StoreFixture fx;
+    // Cut the file at every length inside the index + footer region — the
+    // partial-finalize shapes — and a few byte-granular cuts inside the
+    // last frame's payload (frame loss + fallback in one file).
+    store::FrameStoreReader full(fx.path);
+    const std::size_t arena_end = static_cast<std::size_t>(
+        full.entry(full.frames() - 1).offset + full.entry(full.frames() - 1).bytes);
+    const std::size_t index_begin =
+        (arena_end + store::kStorePageBytes - 1) / store::kStorePageBytes *
+        store::kStorePageBytes;
+
+    for (std::size_t cut = index_begin; cut < fx.clean.size(); cut += 13) {
+        write_bytes(fx.path, fx.clean.substr(0, cut));
+        store::FrameStoreReader reader(fx.path);
+        EXPECT_FALSE(reader.indexed()) << "cut at " << cut;
+        ASSERT_EQ(reader.frames(), fx.originals.size()) << "cut at " << cut;
+        for (std::size_t i = 0; i < reader.frames(); ++i)
+            EXPECT_TRUE(frames_equal(reader.frame(i), fx.originals[i]));
+    }
+
+    const std::size_t last_start =
+        static_cast<std::size_t>(full.entry(full.frames() - 1).offset);
+    for (std::size_t cut = last_start + 1; cut < arena_end; cut += 101) {
+        write_bytes(fx.path, fx.clean.substr(0, cut));
+        store::FrameStoreReader reader(fx.path);
+        EXPECT_FALSE(reader.indexed());
+        ASSERT_EQ(reader.frames(), fx.originals.size() - 1) << "cut at " << cut;
+        EXPECT_GE(reader.recovery_stats().frames_lost, 0u);
+        for (std::size_t i = 0; i < reader.frames(); ++i)
+            EXPECT_TRUE(frames_equal(reader.frame(i), fx.originals[i]));
+    }
+    write_bytes(fx.path, fx.clean);
+}
+
+TEST(StoreCorruption, SuperblockDamageIsDiagnosedNotUndefined) {
+    StoreFixture fx;
+    for (const std::size_t pos : {0u, 5u, 17u, 60u, 63u}) {
+        std::string damaged = fx.clean;
+        damaged[pos] = static_cast<char>(
+            static_cast<unsigned char>(damaged[pos]) ^ 0xFFu);
+        write_bytes(fx.path, damaged);
+        EXPECT_THROW(store::FrameStoreReader{fx.path}, Error)
+            << "superblock flip at " << pos;
+    }
+    write_bytes(fx.path, fx.clean);
 }
 
 }  // namespace
