@@ -152,6 +152,22 @@ int main() {
     const double replay_vs_live =
         live_rate > 0.0 ? replay_rate / live_rate : 0.0;
 
+    // Batch-transport ablation: the same unpaced replay with the staging
+    // batch forced to one record. ReplaySource::record_block hands the
+    // producer whole drift rows, so batch_x is the ingest gain the
+    // span-granular ring protocol buys when serving from the store.
+    double per_record_rate = 0.0;
+    {
+        pipeline::HybridConfig pcfg = hcfg;
+        pcfg.frame_sink = nullptr;
+        pcfg.batch_records = 1;
+        store::ReplaySource per_record(reader, store::ReplayConfig{0.0});
+        pipeline::HybridPipeline replay(seq, layout, per_record, pcfg);
+        per_record_rate = replay.run().sample_rate;
+    }
+    const double replay_batch_x =
+        per_record_rate > 0.0 ? replay_rate / per_record_rate : 0.0;
+
     // Same run with the resident cache disabled (cap 0): frames convert on
     // first touch as the slot window slides — the cost profile of replaying
     // a run too large to hold in memory.
@@ -192,6 +208,9 @@ int main() {
               << format_double(live_rate / 1e6, 2) << " Msamples/s (x"
               << format_double(replay_vs_live, 2) << "), digests "
               << (digests_match ? "MATCH" : "MISMATCH") << "\n"
+              << "per-record replay (batch_records=1): "
+              << format_double(per_record_rate / 1e6, 2) << " Msamples/s (batch_x "
+              << format_double(replay_batch_x, 2) << ")\n"
               << "windowed replay (no resident cache): "
               << format_double(windowed_rate / 1e6, 2) << " Msamples/s\n"
               << "paced replay (asked x8.00): achieved x"
@@ -203,6 +222,8 @@ int main() {
     meta.scalars.emplace_back("scan.cold_seconds", cold_s);
     meta.scalars.emplace_back("scan.warm_seconds", warm_s);
     meta.scalars.emplace_back("replay.sample_rate", replay_rate);
+    meta.scalars.emplace_back("replay.per_record_sample_rate", per_record_rate);
+    meta.scalars.emplace_back("replay.batch_x", replay_batch_x);
     meta.scalars.emplace_back("replay.windowed_sample_rate", windowed_rate);
     meta.scalars.emplace_back("live.sample_rate", live_rate);
     meta.scalars.emplace_back("replay.vs_live_x", replay_vs_live);

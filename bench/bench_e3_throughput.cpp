@@ -33,6 +33,12 @@ pipeline::Frame synthetic_raw(const prs::OversampledPrs& seq,
     return raw;
 }
 
+double find_scalar(const telemetry::RunMeta& meta, const std::string& key) {
+    for (const auto& [name, value] : meta.scalars)
+        if (name == key) return value;
+    return 0.0;
+}
+
 }  // namespace
 
 int main() {
@@ -160,10 +166,14 @@ int main() {
         hcfg.ring_records = 64;
         const auto period = pipeline::to_period_samples(raw, 1);
 
+        const auto run_rate = [&](const pipeline::HybridConfig& cfg) {
+            pipeline::HybridPipeline hybrid(seq, layout, period, cfg);
+            return hybrid.run();
+        };
+
         double sync_rate = 0.0, sync_rtf = 0.0;
         {
-            pipeline::HybridPipeline hybrid(seq, layout, period, hcfg);
-            const auto report = hybrid.run();
+            const auto report = run_rate(hcfg);
             sync_rate = report.sample_rate;
             sync_rtf = report.realtime_factor(layout.sample_rate());
             std::cout << "\nhybrid stream (order 8, CPU backend): "
@@ -175,29 +185,59 @@ int main() {
                       << format_double(report.consumer_idle_seconds * 1e3, 2)
                       << " ms\n";
         }
-        hcfg.overlap_decode = true;
-        double overlap_rate = 0.0, overlap_rtf = 0.0;
-        {
-            pipeline::HybridPipeline hybrid(seq, layout, period, hcfg);
-            const auto report = hybrid.run();
-            overlap_rate = report.sample_rate;
-            overlap_rtf = report.realtime_factor(layout.sample_rate());
-            std::cout << "hybrid stream, overlapped decode:     "
-                      << format_double(report.sample_rate / 1e6, 2)
-                      << " Msamples/s, realtime_factor "
-                      << format_double(overlap_rtf, 2) << ", stall "
-                      << format_double(report.producer_stall_seconds * 1e3, 2)
-                      << " ms, decode-wait "
-                      << format_double(report.decode_wait_seconds * 1e3, 2)
-                      << " ms\n";
-        }
-        const double overlap_x = sync_rate > 0.0 ? overlap_rate / sync_rate : 0.0;
-        std::cout << "hybrid overlap_x: " << format_double(overlap_x, 2) << "\n";
         meta.scalars.emplace_back("hybrid.sample_rate", sync_rate);
         meta.scalars.emplace_back("hybrid.realtime_factor", sync_rtf);
-        meta.scalars.emplace_back("hybrid.overlap_sample_rate", overlap_rate);
-        meta.scalars.emplace_back("hybrid.overlap_realtime_factor", overlap_rtf);
-        meta.scalars.emplace_back("hybrid.overlap_x", overlap_x);
+
+        // Overlapped decode, swept over worker counts: overlap_x is the
+        // canonical 1-worker figure; _w2/_w4 show what extra decode workers
+        // buy (spare cores required — on one hardware thread they can only
+        // timeslice).
+        hcfg.overlap_decode = true;
+        for (const std::size_t workers :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            hcfg.decode_workers = workers;
+            const auto report = run_rate(hcfg);
+            const double rate = report.sample_rate;
+            const double rtf = report.realtime_factor(layout.sample_rate());
+            const double overlap_x = sync_rate > 0.0 ? rate / sync_rate : 0.0;
+            std::cout << "hybrid stream, overlapped decode (w" << workers
+                      << "): " << format_double(rate / 1e6, 2)
+                      << " Msamples/s, realtime_factor "
+                      << format_double(rtf, 2) << ", overlap_x "
+                      << format_double(overlap_x, 2) << ", decode-wait "
+                      << format_double(report.decode_wait_seconds * 1e3, 2)
+                      << " ms\n";
+            if (workers == 1) {
+                meta.scalars.emplace_back("hybrid.overlap_sample_rate", rate);
+                meta.scalars.emplace_back("hybrid.overlap_realtime_factor",
+                                          rtf);
+                meta.scalars.emplace_back("hybrid.overlap_x", overlap_x);
+            } else {
+                meta.scalars.emplace_back(
+                    "hybrid.overlap_x_w" + std::to_string(workers), overlap_x);
+            }
+        }
+
+        // Batch-transport ablation: the same overlapped run with the staging
+        // batch forced to one record (the pre-batch transport protocol).
+        // batch_x is the end-to-end ingest gain of span-granular publishes.
+        hcfg.decode_workers = 1;
+        hcfg.batch_records = 1;
+        {
+            const auto report = run_rate(hcfg);
+            const double batch_x =
+                report.sample_rate > 0.0
+                    ? find_scalar(meta, "hybrid.overlap_sample_rate") /
+                          report.sample_rate
+                    : 0.0;
+            std::cout << "hybrid stream, per-record transport:  "
+                      << format_double(report.sample_rate / 1e6, 2)
+                      << " Msamples/s (batch_x "
+                      << format_double(batch_x, 2) << ")\n";
+            meta.scalars.emplace_back("hybrid.per_record_sample_rate",
+                                      report.sample_rate);
+            meta.scalars.emplace_back("hybrid.batch_x", batch_x);
+        }
     }
 
     if (tel.enabled()) {

@@ -88,27 +88,45 @@ int main() {
         pipeline::HybridPipeline hybrid(seq, layout, period, hcfg);
         const auto report = hybrid.run();
         const double rtf = report.realtime_factor(layout.sample_rate());
-        hcfg.overlap_decode = true;
-        pipeline::HybridPipeline overlapped(seq, layout, period, hcfg);
-        const auto overlap_report = overlapped.run();
-        const double overlap_rtf =
-            overlap_report.realtime_factor(layout.sample_rate());
-        const double overlap_x = report.sample_rate > 0.0
-                                     ? overlap_report.sample_rate / report.sample_rate
-                                     : 0.0;
         std::cout << "\nhybrid stream (CPU backend): "
                   << format_double(report.sample_rate / 1e6, 2)
                   << " Msamples/s, realtime_factor " << format_double(rtf, 2)
-                  << "; overlapped decode "
-                  << format_double(overlap_report.sample_rate / 1e6, 2)
-                  << " Msamples/s (overlap_x "
-                  << format_double(overlap_x, 2) << ")\n";
+                  << "\n";
         meta.scalars.emplace_back("hybrid.sample_rate", report.sample_rate);
         meta.scalars.emplace_back("hybrid.realtime_factor", rtf);
-        meta.scalars.emplace_back("hybrid.overlap_sample_rate",
-                                  overlap_report.sample_rate);
-        meta.scalars.emplace_back("hybrid.overlap_realtime_factor", overlap_rtf);
-        meta.scalars.emplace_back("hybrid.overlap_x", overlap_x);
+
+        // Worker sweep: decode_workers splits the deconvolution of in-flight
+        // frames across parallel workers with ordered emission; on spare
+        // cores overlap_x_wN should rise with N until decode stops being the
+        // bottleneck, on a single hardware thread all points collapse to ~1.
+        hcfg.overlap_decode = true;
+        for (const std::size_t workers :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            hcfg.decode_workers = workers;
+            pipeline::HybridPipeline overlapped(seq, layout, period, hcfg);
+            const auto overlap_report = overlapped.run();
+            const double overlap_rtf =
+                overlap_report.realtime_factor(layout.sample_rate());
+            const double overlap_x =
+                report.sample_rate > 0.0
+                    ? overlap_report.sample_rate / report.sample_rate
+                    : 0.0;
+            std::cout << "hybrid stream, overlapped decode (w" << workers
+                      << "): "
+                      << format_double(overlap_report.sample_rate / 1e6, 2)
+                      << " Msamples/s (overlap_x "
+                      << format_double(overlap_x, 2) << ")\n";
+            if (workers == 1) {
+                meta.scalars.emplace_back("hybrid.overlap_sample_rate",
+                                          overlap_report.sample_rate);
+                meta.scalars.emplace_back("hybrid.overlap_realtime_factor",
+                                          overlap_rtf);
+                meta.scalars.emplace_back("hybrid.overlap_x", overlap_x);
+            } else {
+                meta.scalars.emplace_back(
+                    "hybrid.overlap_x_w" + std::to_string(workers), overlap_x);
+            }
+        }
     }
 
     if (tel.enabled()) {

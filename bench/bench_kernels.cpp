@@ -9,9 +9,19 @@
 // machine-readable across commits.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <numeric>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/rng.hpp"
 #include "common/simd.hpp"
@@ -170,6 +180,126 @@ static void BM_SpscRing(benchmark::State& state) {
 }
 BENCHMARK(BM_SpscRing);
 
+// Batch transport protocol on the same ring: one push_batch + one pop_batch
+// per iteration moves `batch` items with two index publishes total, so the
+// per-item figure isolates what batching amortizes (atomic traffic and
+// branchy per-element bookkeeping) against BM_SpscRing's per-item publish.
+static void BM_SpscRingBatch(benchmark::State& state) {
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    pipeline::SpscRing<std::uint64_t> ring(1024);
+    std::vector<std::uint64_t> in(batch), out(batch);
+    std::iota(in.begin(), in.end(), std::uint64_t{0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ring.push_batch(std::span(in)));
+        benchmark::DoNotOptimize(ring.pop_batch(std::span(out)));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SpscRingBatch)->Arg(8)->Arg(64)->Arg(256);
+
+namespace {
+
+// Optional producer/consumer pinning for the threaded ring bench, selected
+// by HTIMS_RING_PIN="<producer_cpu>,<consumer_cpu>" (e.g. "0,1"). Unset, or
+// a negative index, leaves the thread where the scheduler put it; on
+// non-Linux hosts the request is accepted and ignored.
+void pin_current_thread(int cpu) {
+#if defined(__linux__)
+    if (cpu < 0) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
+std::pair<int, int> ring_pin_from_env() {
+    const char* env = std::getenv("HTIMS_RING_PIN");
+    if (env == nullptr) return {-1, -1};
+    int producer = -1, consumer = -1;
+    char* rest = nullptr;
+    producer = static_cast<int>(std::strtol(env, &rest, 10));
+    if (rest != nullptr && *rest == ',')
+        consumer = static_cast<int>(std::strtol(rest + 1, nullptr, 10));
+    return {producer, consumer};
+}
+
+// A record the size of the hot Block struct the hybrid transport moves
+// (pointer + size + seq + flags): the payload the batch protocol was built
+// to stream.
+struct StreamRecord {
+    std::uint64_t seq = 0;
+    std::uint64_t payload[3] = {0, 0, 0};
+};
+static_assert(sizeof(StreamRecord) == 32);
+
+}  // namespace
+
+// Cross-thread streaming: a producer thread feeds 32-byte records through a
+// ring while the timed loop drains it — the shape of the hybrid pipeline's
+// ingest edge. range(0) is the transfer granularity: 1 uses the
+// single-element protocol on both sides (the pre-batch transport), larger
+// values move spans. Real time, not CPU time: on a single hardware thread
+// the producer and consumer timeshare, and wall clock is what the pipeline
+// sees.
+static void BM_SpscRingStream(benchmark::State& state) {
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    const auto [pin_producer, pin_consumer] = ring_pin_from_env();
+    pipeline::SpscRing<StreamRecord> ring(1024);
+    std::atomic<bool> stop{false};
+    std::thread producer([&, pin = pin_producer] {
+        pin_current_thread(pin);
+        std::vector<StreamRecord> stage(batch);
+        std::uint64_t seq = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (auto& r : stage) r.seq = seq++;
+            std::size_t off = 0;
+            while (off < stage.size() &&
+                   !stop.load(std::memory_order_relaxed)) {
+                std::size_t moved = 0;
+                if (batch == 1) {
+                    moved = ring.try_push(StreamRecord{stage[0]}) ? 1 : 0;
+                } else {
+                    moved = ring.push_batch(std::span(stage).subspan(off));
+                }
+                off += moved;
+                // Ring full: yield instead of spinning so a single hardware
+                // thread can still timeshare producer and consumer.
+                if (moved == 0) std::this_thread::yield();
+            }
+        }
+    });
+    pin_current_thread(pin_consumer);
+    std::vector<StreamRecord> out(batch);
+    std::int64_t received = 0;
+    for (auto _ : state) {
+        std::size_t got = 0;
+        if (batch == 1) {
+            for (;;) {
+                if (auto v = ring.try_pop()) {
+                    benchmark::DoNotOptimize(v->seq);
+                    got = 1;
+                    break;
+                }
+                std::this_thread::yield();
+            }
+        } else {
+            while ((got = ring.pop_batch(std::span(out))) == 0)
+                std::this_thread::yield();
+            benchmark::DoNotOptimize(out.data());
+        }
+        received += static_cast<std::int64_t>(got);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    producer.join();
+    state.SetItemsProcessed(received);
+}
+BENCHMARK(BM_SpscRingStream)->Arg(1)->Arg(64)->UseRealTime();
+
 namespace {
 
 // Console output plus capture: every finished run's items/s lands in the
@@ -231,6 +361,27 @@ int main(int argc, char** argv) {
     const double enh4b = find_scalar(meta, "BM_EnhancedDecodeBatch/4/8.items_per_second");
     if (enh4 > 0.0 && enh4b > 0.0)
         meta.scalars.emplace_back("speedup.enhanced_decode_factor4", enh4b / enh4);
+    const double ring_single = find_scalar(meta, "BM_SpscRing.items_per_second");
+    const double ring_batch =
+        find_scalar(meta, "BM_SpscRingBatch/64.items_per_second");
+    if (ring_single > 0.0 && ring_batch > 0.0) {
+        const double speedup = ring_batch / ring_single;
+        meta.scalars.emplace_back("speedup.ring_batch", speedup);
+        // Single-threaded protocol comparison, so the ratio is stable even
+        // at smoke-test iteration counts: batch falling behind per-element
+        // transport means the fast path lost its amortization and the
+        // bench-smoke gate should fail the run.
+        if (speedup < 1.0)
+            std::cout << "REGRESSION: speedup.ring_batch " << speedup
+                      << " < 1.0 (batch transport slower than per-record)\n";
+    }
+    const double stream1 =
+        find_scalar(meta, "BM_SpscRingStream/1/real_time.items_per_second");
+    const double stream64 =
+        find_scalar(meta, "BM_SpscRingStream/64/real_time.items_per_second");
+    if (stream1 > 0.0 && stream64 > 0.0)
+        meta.scalars.emplace_back("speedup.ring_stream_batch",
+                                  stream64 / stream1);
 
     if (tel.enabled()) {
         const auto snap = tel.snapshot();

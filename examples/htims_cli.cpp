@@ -37,6 +37,10 @@ void usage() {
         "  --overlap             also stream the frame through the hybrid\n"
         "                        pipeline, synchronous vs overlapped decode,\n"
         "                        and report the overlap speedup\n"
+        "  --decode-workers N    overlapped-decode worker threads for the\n"
+        "                        hybrid runs (default 1; results identical)\n"
+        "  --batch N             producer staging batch in records for the\n"
+        "                        hybrid runs (default 32; 1 = per-record)\n"
         "  --record PATH         stream the acquired frame through the hybrid\n"
         "                        pipeline and persist the run in an mmap frame\n"
         "                        store (replayable with --replay)\n"
@@ -66,6 +70,8 @@ int main(int argc, char** argv) {
     bool csv = false;
     bool telemetry = false;
     bool overlap = false;
+    std::size_t decode_workers = pipeline::HybridConfig{}.decode_workers;
+    std::size_t batch_records = pipeline::HybridConfig{}.batch_records;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -113,6 +119,10 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--overlap") {
             overlap = true;
+        } else if (arg == "--decode-workers") {
+            decode_workers = static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--batch") {
+            batch_records = static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (arg == "--record") {
             record_path = next();
         } else if (arg == "--replay") {
@@ -211,12 +221,14 @@ int main(int argc, char** argv) {
             hcfg.averages = cfg.acquisition.averages;
             hcfg.cpu_threads = cfg.cpu_threads;
             hcfg.fpga = cfg.fpga;
+            hcfg.batch_records = batch_records;
             const auto period = pipeline::to_period_samples(
                 run.acquisition.raw, cfg.acquisition.averages);
             pipeline::HybridPipeline sync_pipe(simulator.engine().sequence(),
                                                simulator.layout(), period, hcfg);
             const auto sync_report = sync_pipe.run();
             hcfg.overlap_decode = true;
+            hcfg.decode_workers = decode_workers;
             pipeline::HybridPipeline overlap_pipe(simulator.engine().sequence(),
                                                   simulator.layout(), period, hcfg);
             const auto overlap_report = overlap_pipe.run();
@@ -226,7 +238,7 @@ int main(int argc, char** argv) {
                     : 0.0;
             std::cout << "hybrid stream: sync "
                       << format_double(sync_report.sample_rate / 1e6, 2)
-                      << " Msamples/s, overlapped "
+                      << " Msamples/s, overlapped (w" << decode_workers << ") "
                       << format_double(overlap_report.sample_rate / 1e6, 2)
                       << " Msamples/s (overlap_x " << format_double(overlap_x, 2)
                       << ", decode-wait "
@@ -246,6 +258,8 @@ int main(int argc, char** argv) {
             hcfg.averages = cfg.acquisition.averages;
             hcfg.cpu_threads = cfg.cpu_threads;
             hcfg.fpga = cfg.fpga;
+            hcfg.batch_records = batch_records;
+            hcfg.decode_workers = decode_workers;
             std::vector<std::uint64_t> digests;
             hcfg.frame_sink = [&](std::size_t, const pipeline::Frame& f) {
                 digests.push_back(pipeline::frame_digest(f));

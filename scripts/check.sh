@@ -27,27 +27,36 @@
 #             a hybrid run under a canned ~1%-corruption/overrun FaultPlan
 #             asserting zero contract aborts, exact injected-vs-recovered
 #             accounting, and seed-reproducible counts across two runs.
+#   bench     bench-smoke gate in build-check/: build the bench targets,
+#             then run bench_kernels with a tiny min_time (telemetry off so
+#             no JSON reports land in the tree). Fails on a crash/nonzero
+#             exit or on a "REGRESSION" marker in the output — the marker
+#             bench_kernels prints when a headline speedup (batch ring
+#             transport vs per-record) drops below 1.0. Not a perf gate —
+#             the numbers are smoke-level — but it keeps every bench
+#             compiling and catches protocol-level throughput inversions.
 #
 # Build trees are persistent (build-check/, build-asan/, build-tsan/,
 # build-lint/), so repeat runs share configure caches and only recompile
 # what changed.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint]
-#                         [--no-faults] [--tier1-only]
+#                         [--no-faults] [--no-bench] [--tier1-only]
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
-run_asan=1 run_tsan=1 run_lint=1 run_faults=1
+run_asan=1 run_tsan=1 run_lint=1 run_faults=1 run_bench=1
 for arg in "$@"; do
     case "$arg" in
         --no-sanitize) run_asan=0 ;;
         --no-tsan) run_tsan=0 ;;
         --no-lint) run_lint=0 ;;
         --no-faults) run_faults=0 ;;
-        --tier1-only) run_asan=0 run_tsan=0 run_lint=0 run_faults=0 ;;
-        *) echo "usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--no-faults] [--tier1-only]" >&2
+        --no-bench) run_bench=0 ;;
+        --tier1-only) run_asan=0 run_tsan=0 run_lint=0 run_faults=0 run_bench=0 ;;
+        *) echo "usage: scripts/check.sh [--no-sanitize] [--no-tsan] [--no-lint] [--no-faults] [--no-bench] [--tier1-only]" >&2
            exit 2 ;;
     esac
 done
@@ -121,6 +130,26 @@ if [[ "$run_faults" == 1 ]]; then
     fi
 else
     stage faults "SKIP (--no-faults)"
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+    echo "== bench: smoke-build benches + bench_kernels regression markers =="
+    # Tiny min_time keeps this to seconds; HTIMS_TELEMETRY=0 suppresses the
+    # JSON run reports the benches otherwise write into the working tree.
+    bench_log=$(mktemp)
+    if cmake --build build-check -j "$jobs" \
+            --target bench_kernels bench_e3_throughput bench_e4_scaling \
+                     bench_e17_replay > /dev/null &&
+        HTIMS_TELEMETRY=0 build-check/bench/bench_kernels \
+            --benchmark_min_time=0.01 | tee "$bench_log" &&
+        ! grep -q '^REGRESSION' "$bench_log"; then
+        stage bench PASS
+    else
+        stage bench FAIL
+    fi
+    rm -f "$bench_log"
+else
+    stage bench "SKIP (--no-bench)"
 fi
 
 echo "== check.sh summary =="

@@ -70,6 +70,22 @@ FpgaCapture FpgaPipeline::capture_frame(FpgaCapture reuse) {
     capture.bins = std::move(bins_);
     capture.capture_cycles = capture_cycles_;
     capture.frame_samples = frame_samples_;
+    // A fired kFpgaOverrun models the decode window closing early. The
+    // decision is drawn here — on the capture thread, once per frame, in
+    // frame order — so the injector's per-site event sequence is identical
+    // whether one or many workers run finalize, and identical to the
+    // synchronous path (end_frame captures then finalizes).
+    if (faults_ != nullptr) {
+        const auto overrun = faults_->decide(fault::Site::kFpgaOverrun);
+        if (overrun.fire) {
+            capture.budget_overrun = true;
+            capture.channel_limit = static_cast<std::size_t>(faults_->draw_below(
+                fault::Site::kFpgaOverrun, overrun.event, layout_.mz_bins));
+            auto& tel = telemetry::Registry::global();
+            static auto& c_overruns = tel.counter("fpga.budget_overruns");
+            c_overruns.increment();
+        }
+    }
     if (reuse.bins.size() == layout_.cells()) {
         bins_ = std::move(reuse.bins);
         for (auto& b : bins_) b.reset();
@@ -198,20 +214,14 @@ Frame FpgaPipeline::finalize_frame(const FpgaCapture& capture) {
     report.fits_bram = fits_bram_;
     report.capture_cycles = capture.capture_cycles;
 
-    // A fired kFpgaOverrun models the decode window closing early: the
+    // A capture-time kFpgaOverrun means the decode window closed early: the
     // engine emits the frame with only the first `channels` m/z channels
     // decoded (the rest stay zero) rather than stalling capture of the next
     // frame. Cycle accounting below charges only the decoded channels.
     std::size_t channels = layout_.mz_bins;
-    if (faults_ != nullptr) {
-        const auto overrun = faults_->decide(fault::Site::kFpgaOverrun);
-        if (overrun.fire) {
-            channels = static_cast<std::size_t>(faults_->draw_below(
-                fault::Site::kFpgaOverrun, overrun.event, layout_.mz_bins));
-            report.budget_overrun = true;
-            static auto& c_overruns = tel.counter("fpga.budget_overruns");
-            c_overruns.increment();
-        }
+    if (capture.budget_overrun) {
+        channels = capture.channel_limit;
+        report.budget_overrun = true;
     }
     report.channels_decoded = channels;
 

@@ -84,6 +84,12 @@ struct FpgaCapture {
     std::vector<SaturatingAccumulator> bins;
     std::uint64_t capture_cycles = 0;
     std::uint64_t frame_samples = 0;
+    /// Decode-window fault, drawn at capture time so the injector's event
+    /// order is always frame order even when several workers finalize
+    /// captures concurrently. When set, finalize decodes only the first
+    /// `channel_limit` m/z channels (a partial frame).
+    bool budget_overrun = false;
+    std::size_t channel_limit = 0;
 };
 
 /// The FPGA pipeline model: stream in ADC words, get a deconvolved frame.
@@ -125,10 +131,11 @@ public:
     const FpgaCycleReport& report() const { return report_; }
 
     /// Attach a fault injector. A fired fault::Site::kFpgaOverrun models a
-    /// cycle-budget overrun: end_frame() stops decoding at a plan-determined
-    /// channel, leaving the remaining channels zero (a *partial* frame,
-    /// flagged in the report and counted as fpga.budget_overruns). Pass
-    /// nullptr to detach.
+    /// cycle-budget overrun: the decode stops at a plan-determined channel,
+    /// leaving the remaining channels zero (a *partial* frame, flagged in
+    /// the report and counted as fpga.budget_overruns). The decision is
+    /// drawn in capture_frame() — once per frame, in frame order — and
+    /// carried in the FpgaCapture to finalize. Pass nullptr to detach.
     void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
 
     /// Samples/second the model sustains at the configured clock, for a

@@ -1,10 +1,12 @@
 #include "pipeline/hybrid.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -30,12 +32,13 @@ struct Block {
     bool end = false;
 };
 
-/// Handoff between the consumer and the decode worker in overlapped-decode
+/// Handoff between the consumer and the decode workers in overlapped-decode
 /// mode: a pool of reusable buffers ("free") and a FIFO of closed frames
-/// awaiting decode ("work"). A single worker drains the FIFO, so results
-/// complete in frame order with no reordering machinery. close() releases
-/// the worker once the stream ends; abort() releases a consumer blocked on
-/// pop_free() when the worker dies mid-run (no buffer would ever return).
+/// awaiting decode ("work"). One or more workers drain the FIFO; with
+/// several, each takes the next frame in sequence and the OrderedEmitter
+/// below restores frame order at emission. close() releases the workers
+/// once the stream ends; abort() releases a consumer blocked on pop_free()
+/// when a worker dies mid-run (no buffer would ever return).
 template <typename Job>
 class DecodeChannel {
 public:
@@ -105,6 +108,47 @@ private:
     bool aborted_ = false;
 };
 
+/// Sequence-ordered reassembly turnstile for multi-worker decode: workers
+/// decode concurrently, then emit (report fields, frame_sink, frame mark)
+/// one at a time in frame order. wait_turn(i) blocks until every emission
+/// before frame i has advanced the turnstile; the mutex hand-off also makes
+/// each emission's writes visible to the next emitter, so the shared report
+/// and frame marker need no further synchronization. abort() releases every
+/// waiter (returning false) when a worker dies, so buffers still recycle
+/// and the pipeline can drain.
+class OrderedEmitter {
+public:
+    /// Returns true when it is frame `index`'s turn to emit; false after
+    /// abort() (skip emission, still recycle the buffer).
+    bool wait_turn(std::size_t index) {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return next_ == index || aborted_; });
+        return !aborted_;
+    }
+
+    void advance() {
+        {
+            std::lock_guard lock(mutex_);
+            ++next_;
+        }
+        cv_.notify_all();
+    }
+
+    void abort() {
+        {
+            std::lock_guard lock(mutex_);
+            aborted_ = true;
+        }
+        cv_.notify_all();
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t next_ = 0;
+    bool aborted_ = false;
+};
+
 }  // namespace
 
 PeriodTemplateSource::PeriodTemplateSource(std::vector<std::uint32_t> period_samples,
@@ -124,6 +168,17 @@ std::span<const std::uint32_t> PeriodTemplateSource::record(std::uint64_t seq) {
         static_cast<std::size_t>(seq % records_per_period_);
     return std::span(period_samples_.data() + record_in_period * record_len_,
                      record_len_);
+}
+
+std::span<const std::uint32_t> PeriodTemplateSource::record_block(
+    std::uint64_t seq, std::size_t max_records) {
+    // Rows are contiguous until the template wraps at the period boundary.
+    const std::size_t record_in_period =
+        static_cast<std::size_t>(seq % records_per_period_);
+    const std::size_t k =
+        std::min(max_records, records_per_period_ - record_in_period);
+    return std::span(period_samples_.data() + record_in_period * record_len_,
+                     k * record_len_);
 }
 
 std::vector<std::uint32_t> to_period_samples(const Frame& raw, std::size_t averages) {
@@ -148,6 +203,10 @@ void validate_hybrid_config(const HybridConfig& config) {
         throw ConfigError("cpu_max_retries cannot be negative");
     if (config.overlap_decode && config.decode_buffers < 2)
         throw ConfigError("overlap_decode needs decode_buffers >= 2");
+    if (config.batch_records == 0)
+        throw ConfigError("batch_records must be >= 1");
+    if (config.decode_workers == 0)
+        throw ConfigError("decode_workers must be >= 1");
 }
 
 }  // namespace
@@ -202,8 +261,10 @@ HybridReport HybridPipeline::run() {
     static auto& h_frame = tel.histogram("hybrid.frame_ns");
     static auto& h_overlap = tel.histogram("hybrid.decode_overlap_ns");
     static auto& h_dwait = tel.histogram("hybrid.decode_wait_ns");
+    static auto& h_batch = tel.histogram("hybrid.batch_size");
     static const auto kStageRun = tel.intern("hybrid.run");
     static const auto kStageFrame = tel.intern("hybrid.frame");
+    static const auto kStageDecode = tel.intern("hybrid.decode_worker");
     const bool tel_on = telemetry::kCompiledIn && tel.enabled();
     auto run_span = tel.span(kStageRun);
 
@@ -212,9 +273,18 @@ HybridReport HybridPipeline::run() {
     report.last_frame = Frame(layout_);
     HTIMS_CHECK(source_ != nullptr && source_->total_records() == records_total,
                 "record source matches the configured stream");
-    // Ring capacity + the block the consumer holds + the one being pushed:
-    // the most record spans ever outstanding at once.
-    source_->set_window(config_.ring_records + 2);
+    // Batch sizing: the producer stages up to batch_cap records per ring
+    // publication and the consumer pops the same amount per protocol round
+    // trip. batch_records = 1 restores the per-record transport exactly —
+    // including its backpressure granularity (the consumer never holds
+    // popped-but-unprocessed records).
+    const std::size_t batch_cap =
+        std::max<std::size_t>(1, std::min(config_.batch_records, ring.capacity()));
+    const std::size_t consume_cap = batch_cap;
+    // Ring capacity (rounded up to a power of two) + the producer's staged
+    // batch + the consumer's popped batch + the blocks in either thread's
+    // hands: the most record spans ever outstanding at once.
+    source_->set_window(ring.capacity() + batch_cap + consume_cap + 2);
 
     fault::FaultInjector* faults = config_.faults;
     // kDropOldest: the producer cannot pop an SPSC ring, so it grants the
@@ -222,6 +292,9 @@ HybridReport HybridPipeline::run() {
     // (i.e. oldest queued) record per credit, which is exactly the record
     // that has waited longest on the link.
     alignas(kCacheLine) std::atomic<std::uint64_t> drop_credits{0};
+
+    const std::uint64_t records_per_frame =
+        static_cast<std::uint64_t>(config_.averages) * records_per_period;
 
     double producer_stall = 0.0;
     std::thread producer([&] {
@@ -253,56 +326,16 @@ HybridReport HybridPipeline::run() {
             return true;
         };
 
-        WallTimer stream_clock;  // release_ns pacing is relative to here
-        for (std::uint64_t seq = 0; seq < records_total; ++seq) {
-            const auto row = source_->record(seq);
-            HTIMS_DCHECK(row.size() == record_len,
-                         "record source rows span the m/z axis");
-            Block block{row.data(), row.size(), seq, false};
-
-            // Line-rate pacing: sleep off the bulk of the wait, then spin
-            // the sub-scheduler-quantum tail so release jitter stays small.
-            const std::uint64_t release = source_->release_ns(seq);
-            if (release > 0) {
-                for (;;) {
-                    const double remain_s =
-                        static_cast<double>(release) * 1e-9 - stream_clock.seconds();
-                    if (remain_s <= 0.0) break;
-                    if (remain_s > 200e-6)
-                        std::this_thread::sleep_for(std::chrono::duration<double>(
-                            remain_s - 100e-6));
-                    else
-                        std::this_thread::yield();
-                }
-            }
-
-            if (faults != nullptr) {
-                const auto jitter = faults->decide(fault::Site::kLinkJitter);
-                if (jitter.fire) {
-                    // A short, plan-determined transport hiccup (10..80 us).
-                    const auto us = 10 * (1 + faults->draw_below(
-                                             fault::Site::kLinkJitter,
-                                             jitter.event, 8));
-                    std::this_thread::sleep_for(
-                        std::chrono::microseconds(us));
-                    if (tel_on) c_jitter.increment();
-                }
-            }
-            const bool forced_overrun =
-                faults != nullptr && faults->should_fire(fault::Site::kLinkOverrun);
-
-            if (!forced_overrun && ring.try_push(Block{block})) continue;
-
-            // The record hit a full (or fault-forced "full") link.
+        // Per-record slow path: a record that met a full (or fault-forced
+        // "full") link goes through the configured policy.
+        const auto push_policy = [&](const Block& block) {
             switch (config_.ring_policy) {
                 case RingFullPolicy::kBlock:
                     push_blocking(block);  // timeout expiry drops the record;
                                            // the consumer sees the seq gap
                     break;
                 case RingFullPolicy::kDropNewest:
-                    if (forced_overrun || !ring.try_push(Block{block})) {
-                        // dropped; accounted by the consumer via seq gap
-                    }
+                    // dropped; accounted by the consumer via seq gap
                     break;
                 case RingFullPolicy::kDropOldest:
                     drop_credits.fetch_add(1, std::memory_order_release);
@@ -323,14 +356,113 @@ HybridReport HybridPipeline::run() {
                     }
                     break;
             }
+        };
+
+        // Batch staging: consecutive unpaced, unfaulted records accumulate
+        // here and publish with one ring operation (one release-store).
+        std::vector<Block> stage;
+        stage.reserve(batch_cap);
+        const auto flush_stage = [&] {
+            std::size_t off = 0;
+            while (off < stage.size()) {
+                const std::size_t pushed =
+                    ring.push_batch(std::span(stage).subspan(off));
+                if (pushed == 0) break;
+                off += pushed;
+            }
+            // Records that met a full ring fall back to the per-record
+            // policy machinery, so drop/block semantics are identical to
+            // per-record transport.
+            for (; off < stage.size(); ++off) {
+                if (ring.try_push(Block{stage[off]})) continue;
+                push_policy(stage[off]);
+            }
+            stage.clear();
+        };
+
+        WallTimer stream_clock;  // release_ns pacing is relative to here
+        std::uint64_t seq = 0;
+        while (seq < records_total) {
+            // Line-rate pacing: sleep off the bulk of the wait, then spin
+            // the sub-scheduler-quantum tail so release jitter stays small.
+            // Earlier records must reach the link before this one waits.
+            const std::uint64_t release = source_->release_ns(seq);
+            if (release > 0) {
+                flush_stage();
+                for (;;) {
+                    const double remain_s =
+                        static_cast<double>(release) * 1e-9 - stream_clock.seconds();
+                    if (remain_s <= 0.0) break;
+                    if (remain_s > 200e-6)
+                        std::this_thread::sleep_for(std::chrono::duration<double>(
+                            remain_s - 100e-6));
+                    else
+                        std::this_thread::yield();
+                }
+            }
+
+            if (faults != nullptr) {
+                // Faulted runs take the record-at-a-time path so the
+                // injector's per-record event order is exactly the
+                // per-record transport's.
+                const auto jitter = faults->decide(fault::Site::kLinkJitter);
+                if (jitter.fire) {
+                    // A short, plan-determined transport hiccup (10..80 us).
+                    const auto us = 10 * (1 + faults->draw_below(
+                                             fault::Site::kLinkJitter,
+                                             jitter.event, 8));
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(us));
+                    if (tel_on) c_jitter.increment();
+                }
+                const auto row = source_->record(seq);
+                HTIMS_DCHECK(row.size() == record_len,
+                             "record source rows span the m/z axis");
+                const Block block{row.data(), row.size(), seq, false};
+                ++seq;
+                if (faults->should_fire(fault::Site::kLinkOverrun)) {
+                    // Forced overrun: straight to the policy, behind
+                    // everything staged before it.
+                    flush_stage();
+                    push_policy(block);
+                } else {
+                    stage.push_back(block);
+                    if (stage.size() >= batch_cap ||
+                        seq % records_per_frame == 0)
+                        flush_stage();
+                }
+                continue;
+            }
+
+            // Fault-free fast path: stage a contiguous run of records, cut
+            // at the batch size and the frame boundary (publications stay
+            // frame-local). Batch a run only when its *last* record
+            // releases immediately — release times are non-decreasing, so
+            // the whole run does; paced streams fall back to record-at-a-
+            // time with the wait above.
+            std::uint64_t want = static_cast<std::uint64_t>(batch_cap - stage.size());
+            const std::uint64_t frame_end =
+                (seq / records_per_frame + 1) * records_per_frame;
+            want = std::min(want, frame_end - seq);
+            if (want > 1 && source_->release_ns(seq + want - 1) > 0) want = 1;
+            const auto rows =
+                source_->record_block(seq, static_cast<std::size_t>(want));
+            const std::size_t k = rows.size() / record_len;
+            HTIMS_DCHECK(k >= 1 && k <= want && rows.size() == k * record_len,
+                         "record_block returns 1..max_records whole rows");
+            for (std::size_t j = 0; j < k; ++j)
+                stage.push_back(Block{rows.data() + j * record_len, record_len,
+                                      seq + j, false});
+            seq += k;
+            if (stage.size() >= batch_cap || seq % records_per_frame == 0)
+                flush_stage();
         }
+        flush_stage();
         // Stream-end sentinel: always delivered, whatever the policy.
         push_blocking(Block{nullptr, 0, records_total, true});
     });
 
     WallTimer wall;
-    const std::uint64_t records_per_frame =
-        static_cast<std::uint64_t>(config_.averages) * records_per_period;
 
     // Per-frame degradation flags (a frame is degraded when at least one of
     // its records was dropped anywhere on the link).
@@ -381,11 +513,16 @@ HybridReport HybridPipeline::run() {
                 ++frames_closed;
             }
         };
-        for (;;) {
-            auto block = ring.try_pop();
-            if (!block) {
+        // Batch pop: drain up to consume_cap blocks per protocol round
+        // trip; the per-block bookkeeping below is unchanged.
+        std::vector<Block> popped(consume_cap);
+        bool saw_end = false;
+        while (!saw_end) {
+            std::size_t got = ring.pop_batch(std::span(popped));
+            if (got == 0) {
                 WallTimer idle;
-                while (!(block = ring.try_pop())) std::this_thread::yield();
+                while ((got = ring.pop_batch(std::span(popped))) == 0)
+                    std::this_thread::yield();
                 const double idled = idle.seconds();
                 report.consumer_idle_seconds += idled;
                 if (tel_on) {
@@ -397,32 +534,41 @@ HybridReport HybridPipeline::run() {
                 const auto depth = static_cast<std::int64_t>(ring.size());
                 g_ring.set(depth);
                 h_ring.observe(static_cast<std::uint64_t>(depth));
+                h_batch.observe(got);
             }
-            if (block->end) {
-                stream_done = true;
-                break;
-            }
-            if (block->seq > next_seq) mark_dropped_range(next_seq, block->seq);
-            next_seq = block->seq + 1;
-            close_through(block->seq / records_per_frame);
-
-            // kDropOldest credits: this record is the oldest still queued —
-            // discard it (counts as dropped, degrades its frame).
-            std::uint64_t credits = drop_credits.load(std::memory_order_acquire);
-            bool discard = false;
-            while (credits > 0) {
-                if (drop_credits.compare_exchange_weak(credits, credits - 1,
-                                                       std::memory_order_acq_rel)) {
-                    discard = true;
+            for (std::size_t b = 0; b < got; ++b) {
+                const Block& block = popped[b];
+                if (block.end) {
+                    // The sentinel is the stream's last block by
+                    // construction; nothing follows it in this batch.
+                    stream_done = true;
+                    saw_end = true;
                     break;
                 }
+                if (block.seq > next_seq) mark_dropped_range(next_seq, block.seq);
+                next_seq = block.seq + 1;
+                close_through(block.seq / records_per_frame);
+
+                // kDropOldest credits: this record is the oldest still
+                // queued — discard it (counts as dropped, degrades its
+                // frame).
+                std::uint64_t credits =
+                    drop_credits.load(std::memory_order_acquire);
+                bool discard = false;
+                while (credits > 0) {
+                    if (drop_credits.compare_exchange_weak(
+                            credits, credits - 1, std::memory_order_acq_rel)) {
+                        discard = true;
+                        break;
+                    }
+                }
+                if (discard) {
+                    mark_dropped_range(block.seq, block.seq + 1);
+                    continue;
+                }
+                if (tel_on) c_records.increment();
+                accumulate(block);
             }
-            if (discard) {
-                mark_dropped_range(block->seq, block->seq + 1);
-                continue;
-            }
-            if (tel_on) c_records.increment();
-            accumulate(*block);
         }
         if (next_seq < records_total) mark_dropped_range(next_seq, records_total);
         close_through(config_.frames);
@@ -454,38 +600,76 @@ HybridReport HybridPipeline::run() {
             } else {
                 // Overlapped decode: each closed frame's capture detaches
                 // from the pipeline so finalize (the whole fixed-point
-                // decode) runs on the worker while the next frame's samples
-                // stream into fresh bins.
+                // decode) runs on a worker while the next frame's samples
+                // stream into fresh bins. With decode_workers > 1 the
+                // finalizes run concurrently on private pipelines (same
+                // config → bit-identical integer decode) and the emitter
+                // turnstile restores frame order.
                 struct Job {
                     std::size_t index = 0;
                     FpgaCapture capture;
                 };
                 DecodeChannel<Job> channel;
-                for (std::size_t i = 0; i + 1 < config_.decode_buffers; ++i)
+                const std::size_t workers_n = config_.decode_workers;
+                const std::size_t buffers =
+                    std::max(config_.decode_buffers, workers_n + 1);
+                for (std::size_t i = 0; i + 1 < buffers; ++i)
                     channel.push_free(Job{});  // bins allocated on first recycle
 
+                OrderedEmitter emitter;
+                auto frame_mark = make_frame_marker();  // shared: called only
+                                                        // inside the ordered
+                                                        // emission section
+                std::mutex failure_mutex;
                 std::exception_ptr worker_failure;
-                std::thread worker([&] {
-                    auto frame_mark = make_frame_marker();
-                    try {
-                        while (auto job = channel.pop_work()) {
-                            const std::uint64_t t0 = tel_on ? telemetry::now_ns() : 0;
-                            Frame decoded = fpga.finalize_frame(job->capture);
-                            if (tel_on) h_overlap.observe(telemetry::now_ns() - t0);
-                            report.fpga = fpga.report();
-                            if (config_.frame_sink)
-                                config_.frame_sink(job->index, decoded);
-                            report.last_frame = std::move(decoded);
-                            frame_mark();
-                            channel.push_free(std::move(*job));
+                std::vector<std::thread> workers;
+                workers.reserve(workers_n);
+                for (std::size_t w = 0; w < workers_n; ++w) {
+                    workers.emplace_back([&] {
+                        try {
+                            // Extra workers finalize on private pipelines;
+                            // the single-worker path keeps using the shared
+                            // one (finalize is thread-safe against the
+                            // consumer's capture, one finalize at a time).
+                            std::optional<FpgaPipeline> local;
+                            FpgaPipeline* decoder = &fpga;
+                            if (workers_n > 1) {
+                                local.emplace(sequence_, layout_, config_.fpga);
+                                decoder = &*local;
+                            }
+                            while (auto job = channel.pop_work()) {
+                                const std::uint64_t t0 =
+                                    tel_on ? telemetry::now_ns() : 0;
+                                Frame decoded;
+                                {
+                                    auto decode_span = tel.span(kStageDecode);
+                                    decoded = decoder->finalize_frame(job->capture);
+                                }
+                                if (tel_on)
+                                    h_overlap.observe(telemetry::now_ns() - t0);
+                                if (emitter.wait_turn(job->index)) {
+                                    report.fpga = decoder->report();
+                                    if (config_.frame_sink)
+                                        config_.frame_sink(job->index, decoded);
+                                    report.last_frame = std::move(decoded);
+                                    frame_mark();
+                                    emitter.advance();
+                                }
+                                channel.push_free(std::move(*job));
+                            }
+                        } catch (...) {
+                            {
+                                std::lock_guard lock(failure_mutex);
+                                if (!worker_failure)
+                                    worker_failure = std::current_exception();
+                            }
+                            emitter.abort();  // release peers waiting a turn
+                            channel.abort();  // wake a consumer stuck in pop_free
+                            while (channel.pop_work()) {
+                            }  // drain handoffs until the consumer closes
                         }
-                    } catch (...) {
-                        worker_failure = std::current_exception();
-                        channel.abort();  // wake a consumer stuck in pop_free
-                        while (channel.pop_work()) {
-                        }  // drain handoffs until the consumer closes
-                    }
-                });
+                    });
+                }
                 bool decode_down = false;
                 try {
                     consume(
@@ -515,19 +699,19 @@ HybridReport HybridPipeline::run() {
                         });
                 } catch (...) {
                     channel.close();
-                    worker.join();
+                    for (auto& worker : workers) worker.join();
                     throw;
                 }
                 channel.close();
-                worker.join();
+                for (auto& worker : workers) worker.join();
                 if (worker_failure) std::rethrow_exception(worker_failure);
             }
         } else {
-            CpuBackend cpu(sequence_, layout_, config_.cpu_threads);
-            if (faults != nullptr)
-                cpu.set_faults(faults, config_.cpu_max_retries,
-                               config_.cpu_retry_backoff_s);
             if (!config_.overlap_decode) {
+                CpuBackend cpu(sequence_, layout_, config_.cpu_threads);
+                if (faults != nullptr)
+                    cpu.set_faults(faults, config_.cpu_max_retries,
+                                   config_.cpu_retry_backoff_s);
                 auto frame_mark = make_frame_marker();
                 Frame accum(layout_);
                 consume(
@@ -545,41 +729,94 @@ HybridReport HybridPipeline::run() {
                         frame_mark();
                         accum.fill(0.0);
                     });
+                report.cpu_task_retries = cpu.task_retries();
             } else {
                 // Overlapped decode: the consumer hands the accumulated
-                // frame off and resumes popping into a recycled buffer; the
-                // single worker keeps results in frame order.
+                // frame off and resumes popping into a recycled buffer.
+                // Each worker deconvolves on its own backend (deconvolve is
+                // one-frame-at-a-time per backend; the output is a pure
+                // function of the frame, so any worker count is
+                // bit-identical) and the emitter turnstile keeps results in
+                // frame order.
                 struct Job {
                     std::size_t index = 0;
                     Frame frame;
                 };
                 DecodeChannel<Job> channel;
-                for (std::size_t i = 0; i + 1 < config_.decode_buffers; ++i)
+                const std::size_t workers_n = config_.decode_workers;
+                const std::size_t buffers =
+                    std::max(config_.decode_buffers, workers_n + 1);
+                for (std::size_t i = 0; i + 1 < buffers; ++i)
                     channel.push_free(Job{0, Frame(layout_)});
                 Frame accum(layout_);
 
+                // Split the decode thread budget across the workers; a
+                // single worker keeps the exact configured count.
+                const std::size_t total_threads =
+                    config_.cpu_threads > 0
+                        ? config_.cpu_threads
+                        : std::max<std::size_t>(
+                              1, std::thread::hardware_concurrency());
+                const std::size_t per_worker =
+                    workers_n > 1
+                        ? std::max<std::size_t>(1, total_threads / workers_n)
+                        : config_.cpu_threads;
+                std::vector<std::unique_ptr<CpuBackend>> decoders;
+                decoders.reserve(workers_n);
+                for (std::size_t w = 0; w < workers_n; ++w) {
+                    decoders.push_back(std::make_unique<CpuBackend>(
+                        sequence_, layout_, per_worker));
+                    if (faults != nullptr)
+                        decoders.back()->set_faults(faults,
+                                                    config_.cpu_max_retries,
+                                                    config_.cpu_retry_backoff_s);
+                }
+
+                OrderedEmitter emitter;
+                auto frame_mark = make_frame_marker();  // shared: called only
+                                                        // inside the ordered
+                                                        // emission section
+                std::mutex failure_mutex;
                 std::exception_ptr worker_failure;
-                std::thread worker([&] {
-                    auto frame_mark = make_frame_marker();
-                    try {
-                        while (auto job = channel.pop_work()) {
-                            const std::uint64_t t0 = tel_on ? telemetry::now_ns() : 0;
-                            Frame decoded = cpu.deconvolve(job->frame);
-                            if (tel_on) h_overlap.observe(telemetry::now_ns() - t0);
-                            if (config_.frame_sink)
-                                config_.frame_sink(job->index, decoded);
-                            report.last_frame = std::move(decoded);
-                            frame_mark();
-                            job->frame.fill(0.0);
-                            channel.push_free(std::move(*job));
+                std::vector<std::thread> workers;
+                workers.reserve(workers_n);
+                for (std::size_t w = 0; w < workers_n; ++w) {
+                    workers.emplace_back([&, w] {
+                        try {
+                            CpuBackend& decoder = *decoders[w];
+                            while (auto job = channel.pop_work()) {
+                                const std::uint64_t t0 =
+                                    tel_on ? telemetry::now_ns() : 0;
+                                Frame decoded;
+                                {
+                                    auto decode_span = tel.span(kStageDecode);
+                                    decoded = decoder.deconvolve(job->frame);
+                                }
+                                if (tel_on)
+                                    h_overlap.observe(telemetry::now_ns() - t0);
+                                if (emitter.wait_turn(job->index)) {
+                                    if (config_.frame_sink)
+                                        config_.frame_sink(job->index, decoded);
+                                    report.last_frame = std::move(decoded);
+                                    frame_mark();
+                                    emitter.advance();
+                                }
+                                job->frame.fill(0.0);
+                                channel.push_free(std::move(*job));
+                            }
+                        } catch (...) {
+                            {
+                                std::lock_guard lock(failure_mutex);
+                                if (!worker_failure)
+                                    worker_failure = std::current_exception();
+                            }
+                            emitter.abort();
+                            channel.abort();
+                            while (channel.pop_work()) {
+                            }
                         }
-                    } catch (...) {
-                        worker_failure = std::current_exception();
-                        channel.abort();
-                        while (channel.pop_work()) {
-                        }
-                    }
-                });
+                    });
+                }
                 bool decode_down = false;
                 try {
                     consume(
@@ -616,14 +853,15 @@ HybridReport HybridPipeline::run() {
                         });
                 } catch (...) {
                     channel.close();
-                    worker.join();
+                    for (auto& worker : workers) worker.join();
                     throw;
                 }
                 channel.close();
-                worker.join();
+                for (auto& worker : workers) worker.join();
                 if (worker_failure) std::rethrow_exception(worker_failure);
+                for (const auto& decoder : decoders)
+                    report.cpu_task_retries += decoder->task_retries();
             }
-            report.cpu_task_retries = cpu.task_retries();
         }
     } catch (...) {
         failure = std::current_exception();

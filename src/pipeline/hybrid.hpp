@@ -22,10 +22,19 @@
 // Overlapped decode (overlap_decode): by default the consumer deconvolves
 // each closed frame inline, so ring pops pause for the decode and the
 // producer stalls exactly when the paper's architecture says it shouldn't.
-// With overlap on, the consumer hands the closed frame to a single decode
-// worker and immediately resumes popping into a recycled buffer — capture
-// and deconvolution overlap as on the real XD1, and results still complete
-// in frame order, bit-identical to the synchronous path.
+// With overlap on, the consumer hands each closed frame to a pool of
+// decode workers (decode_workers, default 1) and immediately resumes
+// popping into a recycled buffer — capture and deconvolution overlap as on
+// the real XD1. Workers decode concurrently but emit through a
+// sequence-ordered turnstile, so results still complete in frame order,
+// bit-identical to the synchronous path.
+//
+// Batch transport (batch_records): the producer stages up to a frame's
+// worth of consecutive records and publishes them with one ring operation,
+// and the consumer pops in batches — the acquire/release protocol cost is
+// paid per span instead of per ~32-byte record. Pacing, fault-injection
+// event order, and ring-full policy semantics are all per record exactly as
+// before: paced or faulted records take the one-at-a-time path.
 #pragma once
 
 #include <cstdint>
@@ -64,9 +73,24 @@ public:
     /// point at it.
     virtual std::span<const std::uint32_t> record(std::uint64_t seq) = 0;
 
+    /// Up to `max_records` consecutive records starting at `seq`, returned
+    /// as one contiguous span (k * mz_bins samples for some 1 <= k <=
+    /// max_records). Sources return as many rows as are contiguous in their
+    /// backing storage; the default forwards to record(). The producer
+    /// stages the rows as individual ring blocks, so the set_window
+    /// retention contract is unchanged.
+    virtual std::span<const std::uint32_t> record_block(std::uint64_t seq,
+                                                        std::size_t max_records) {
+        (void)max_records;
+        return record(seq);
+    }
+
     /// Earliest release time for `seq`, in nanoseconds after stream start
     /// (0 = release immediately). A replay paces the recorded line rate
-    /// here; the producer busy-waits the residual.
+    /// here; the producer busy-waits the residual. Must be non-decreasing
+    /// in `seq` — the producer batches a run of records only after proving
+    /// the run's *last* record releases immediately, which implies the
+    /// whole run does.
     virtual std::uint64_t release_ns(std::uint64_t /*seq*/) const {
         return 0;
     }
@@ -88,6 +112,8 @@ public:
 
     std::uint64_t total_records() const override { return total_records_; }
     std::span<const std::uint32_t> record(std::uint64_t seq) override;
+    std::span<const std::uint32_t> record_block(std::uint64_t seq,
+                                                std::size_t max_records) override;
 
 private:
     std::vector<std::uint32_t> period_samples_;
@@ -109,6 +135,9 @@ struct HybridConfig {
     std::size_t frames = 8;         ///< frames to stream
     std::size_t averages = 1;       ///< periods accumulated per frame
     std::size_t ring_records = 256; ///< link depth, in TOF records
+    std::size_t batch_records = 32; ///< records staged per ring publication
+                                    ///< (clamped to the ring depth; 1 =
+                                    ///< per-record transport as before)
     std::size_t cpu_threads = 0;    ///< CPU backend worker count (0 = auto)
     FpgaConfig fpga{};              ///< FPGA model parameters
 
@@ -122,11 +151,17 @@ struct HybridConfig {
                                     ///< while frame k+1 streams in
     std::size_t decode_buffers = 2; ///< frames in flight with overlap on
                                     ///< (one accumulating + the rest queued
-                                    ///< or decoding); must be >= 2
+                                    ///< or decoding); must be >= 2 and is
+                                    ///< raised to decode_workers + 1 so
+                                    ///< every worker can hold a frame
+    std::size_t decode_workers = 1; ///< decode worker threads with overlap
+                                    ///< on; results are reassembled in
+                                    ///< sequence order whatever the count
 
     /// Optional per-frame sink, called once per decoded frame with its
-    /// index. Runs on the decode worker in overlap mode and on the consumer
-    /// otherwise; the call sequence is frame order in both.
+    /// index. Runs on a decode worker in overlap mode and on the consumer
+    /// otherwise; the call sequence is frame order in both (multi-worker
+    /// emission is serialized through the order turnstile).
     std::function<void(std::size_t, const Frame&)> frame_sink;
 
     fault::FaultInjector* faults = nullptr;  ///< optional fault injection

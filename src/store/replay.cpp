@@ -122,6 +122,18 @@ std::span<const std::uint32_t> ReplaySource::record(std::uint64_t seq) {
     return samples.subspan(row * mz_bins_, mz_bins_);
 }
 
+std::span<const std::uint32_t> ReplaySource::record_block(
+    std::uint64_t seq, std::size_t max_records) {
+    HTIMS_DCHECK(seq < total_records(), "replay record index in range");
+    // Rows are contiguous in the cached frame image until the period wraps
+    // at the drift axis; the batch producer takes whatever is contiguous.
+    const std::uint64_t frame_index = seq / records_per_frame_;
+    const auto samples = samples_for(frame_index);
+    const std::size_t row = static_cast<std::size_t>(seq % drift_bins_);
+    const std::size_t k = std::min(max_records, drift_bins_ - row);
+    return samples.subspan(row * mz_bins_, k * mz_bins_);
+}
+
 std::uint64_t ReplaySource::release_ns(std::uint64_t seq) const {
     if (rate_x_ <= 0.0 || record_period_ns_ <= 0.0) return 0;
     const double at = static_cast<double>(seq) * record_period_ns_ / rate_x_;

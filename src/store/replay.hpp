@@ -75,6 +75,8 @@ public:
         return frames() * records_per_frame_;
     }
     std::span<const std::uint32_t> record(std::uint64_t seq) override;
+    std::span<const std::uint32_t> record_block(std::uint64_t seq,
+                                                std::size_t max_records) override;
     std::uint64_t release_ns(std::uint64_t seq) const override;
     void set_window(std::size_t records) override;
 

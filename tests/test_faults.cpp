@@ -470,6 +470,8 @@ TEST(FaultedHybrid, DropOldestTimeoutDropsEachDisplacedRecordExactlyOnce) {
     cfg.frames = 2;
     cfg.averages = 1;
     cfg.ring_records = 16;
+    cfg.batch_records = 1;  // the schedule below counts on per-record
+                            // transport granularity (pop-one, process-one)
     cfg.cpu_threads = 2;
     cfg.ring_policy = RingFullPolicy::kDropOldest;
     cfg.ring_timeout_s = 0.02;
@@ -498,7 +500,8 @@ struct FaultedDigestRun {
 };
 
 FaultedDigestRun faulted_run(BackendKind backend, RingFullPolicy policy,
-                             const std::string& plan, bool overlap) {
+                             const std::string& plan, bool overlap,
+                             std::size_t workers = 1) {
     const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
     const auto layout = small_layout(seq, 8);
     std::vector<std::uint32_t> period(layout.cells(), 1);
@@ -506,6 +509,7 @@ FaultedDigestRun faulted_run(BackendKind backend, RingFullPolicy policy,
     auto cfg = drill_config(backend, &faults, policy, 1024);
     cfg.cpu_retry_backoff_s = 0.0;
     cfg.overlap_decode = overlap;
+    cfg.decode_workers = workers;
     FaultedDigestRun run;
     run.digests.assign(cfg.frames, 0);
     cfg.frame_sink = [&run](std::size_t index, const Frame& frame) {
@@ -527,20 +531,26 @@ TEST(FaultedHybridOverlap, MatrixMatchesSynchronousDigests) {
         for (auto policy :
              {RingFullPolicy::kBlock, RingFullPolicy::kDropNewest}) {
             const auto sync_run = faulted_run(backend, policy, plan, false);
-            const auto overlap_run = faulted_run(backend, policy, plan, true);
-            const auto tag = std::string(backend == BackendKind::kCpu ? "cpu"
-                                                                      : "fpga") +
-                             "/" +
-                             (policy == RingFullPolicy::kBlock ? "block"
-                                                               : "drop_newest");
-            EXPECT_EQ(overlap_run.digests, sync_run.digests) << tag;
-            EXPECT_EQ(overlap_run.report.records_dropped,
-                      sync_run.report.records_dropped)
-                << tag;
-            EXPECT_EQ(overlap_run.report.frames_degraded,
-                      sync_run.report.frames_degraded)
-                << tag;
-            EXPECT_EQ(overlap_run.report.faults, sync_run.report.faults) << tag;
+            for (std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}}) {
+                const auto overlap_run =
+                    faulted_run(backend, policy, plan, true, workers);
+                const auto tag =
+                    std::string(backend == BackendKind::kCpu ? "cpu" : "fpga") +
+                    "/" +
+                    (policy == RingFullPolicy::kBlock ? "block"
+                                                      : "drop_newest") +
+                    "/w" + std::to_string(workers);
+                EXPECT_EQ(overlap_run.digests, sync_run.digests) << tag;
+                EXPECT_EQ(overlap_run.report.records_dropped,
+                          sync_run.report.records_dropped)
+                    << tag;
+                EXPECT_EQ(overlap_run.report.frames_degraded,
+                          sync_run.report.frames_degraded)
+                    << tag;
+                EXPECT_EQ(overlap_run.report.faults, sync_run.report.faults)
+                    << tag;
+            }
         }
     }
 }
@@ -566,11 +576,16 @@ TEST(FaultedHybridOverlap, DropOldestReproducesCountsAndInjections) {
 TEST(FaultedHybridOverlap, CpuRetriesSurfaceIdentically) {
     const auto sync_run =
         faulted_run(BackendKind::kCpu, RingFullPolicy::kBlock, "cpu.fail@0", false);
-    const auto overlap_run =
-        faulted_run(BackendKind::kCpu, RingFullPolicy::kBlock, "cpu.fail@0", true);
-    EXPECT_EQ(overlap_run.digests, sync_run.digests);
     EXPECT_EQ(sync_run.report.cpu_task_retries, 1u);
-    EXPECT_EQ(overlap_run.report.cpu_task_retries, 1u);
+    // The retry total is a function of the fault plan, not of which worker
+    // happens to decode the faulted frame — per-worker backends sum.
+    for (std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+        const auto overlap_run = faulted_run(
+            BackendKind::kCpu, RingFullPolicy::kBlock, "cpu.fail@0", true,
+            workers);
+        EXPECT_EQ(overlap_run.digests, sync_run.digests) << workers;
+        EXPECT_EQ(overlap_run.report.cpu_task_retries, 1u) << workers;
+    }
 }
 
 TEST(FaultedHybridOverlap, PersistentCpuFaultPropagatesFromWorker) {
@@ -579,14 +594,19 @@ TEST(FaultedHybridOverlap, PersistentCpuFaultPropagatesFromWorker) {
     const prs::OversampledPrs seq(5, 1, prs::GateMode::kPulsed);
     const auto layout = small_layout(seq, 8);
     std::vector<std::uint32_t> period(layout.cells(), 1);
-    for (bool overlap : {false, true}) {
+    struct Case {
+        bool overlap;
+        std::size_t workers;
+    };
+    for (const auto c : {Case{false, 1}, Case{true, 1}, Case{true, 2}}) {
         fault::FaultInjector faults(fault::FaultPlan::parse("cpu.fail=1"));
         auto cfg = drill_config(BackendKind::kCpu, &faults,
                                 RingFullPolicy::kBlock, 256);
         cfg.cpu_retry_backoff_s = 0.0;
-        cfg.overlap_decode = overlap;
+        cfg.overlap_decode = c.overlap;
+        cfg.decode_workers = c.workers;
         EXPECT_THROW(HybridPipeline(seq, layout, period, cfg).run(), Error)
-            << "overlap=" << overlap;
+            << "overlap=" << c.overlap << " workers=" << c.workers;
     }
 }
 

@@ -600,7 +600,8 @@ struct DigestRun {
     std::vector<std::uint64_t> digests;
 };
 
-DigestRun digest_run(BackendKind backend, bool overlap, std::size_t buffers = 2) {
+DigestRun digest_run(BackendKind backend, bool overlap, std::size_t buffers = 2,
+                     std::size_t workers = 1, std::size_t batch = 32) {
     const prs::OversampledPrs seq(6, 1, prs::GateMode::kPulsed);
     FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 8,
                        .drift_bin_width_s = 1e-4};
@@ -614,6 +615,8 @@ DigestRun digest_run(BackendKind backend, bool overlap, std::size_t buffers = 2)
     cfg.cpu_threads = 2;
     cfg.overlap_decode = overlap;
     cfg.decode_buffers = buffers;
+    cfg.decode_workers = workers;
+    cfg.batch_records = batch;
     DigestRun run;
     run.digests.assign(cfg.frames, 0);
     cfg.frame_sink = [&run](std::size_t index, const Frame& frame) {
@@ -636,6 +639,13 @@ TEST(HybridOverlap, ConfigValidation) {
     // A sub-2 buffer count is inert while overlap stays off.
     cfg.overlap_decode = false;
     EXPECT_NO_THROW(HybridPipeline(seq, layout, period, cfg));
+    // Zero decode workers or a zero-record batch is never meaningful.
+    cfg = HybridConfig{};
+    cfg.decode_workers = 0;
+    EXPECT_THROW(HybridPipeline(seq, layout, period, cfg), ConfigError);
+    cfg = HybridConfig{};
+    cfg.batch_records = 0;
+    EXPECT_THROW(HybridPipeline(seq, layout, period, cfg), ConfigError);
 }
 
 TEST(HybridOverlap, CpuDigestsMatchSynchronousPath) {
@@ -657,6 +667,46 @@ TEST(HybridOverlap, FpgaDigestsMatchSynchronousPath) {
               sync_run.report.fpga.deconv_cycles);
 }
 
+TEST(HybridOverlap, MultiWorkerDigestsMatchSynchronousPath) {
+    // decode_workers in {1, 2, 4}: concurrent finalizes with ordered
+    // emission must stay bit-identical to the synchronous path for both
+    // backends (the acceptance matrix of the batch-transport PR).
+    for (auto backend : {BackendKind::kCpu, BackendKind::kFpga}) {
+        const auto sync_run = digest_run(backend, false);
+        for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            const auto run = digest_run(backend, true, 2, workers);
+            EXPECT_EQ(run.digests, sync_run.digests)
+                << "backend=" << static_cast<int>(backend)
+                << " workers=" << workers;
+            EXPECT_EQ(frame_digest(run.report.last_frame), run.digests.back());
+        }
+    }
+}
+
+TEST(HybridOverlap, MultiWorkerFpgaReportsMatchSynchronousAccounting) {
+    const auto sync_run = digest_run(BackendKind::kFpga, false);
+    const auto run = digest_run(BackendKind::kFpga, true, 2, 4);
+    // Emission is frame-ordered, so the surviving report is the last
+    // frame's — and per-frame accounting is a pure function of the capture.
+    EXPECT_EQ(run.report.fpga.capture_cycles, sync_run.report.fpga.capture_cycles);
+    EXPECT_EQ(run.report.fpga.deconv_cycles, sync_run.report.fpga.deconv_cycles);
+}
+
+TEST(HybridOverlap, BatchSizeSweepIsBitIdentical) {
+    // The transport batch size is a pure perf knob: per-record (1), default
+    // (32), and a batch larger than the ring must all produce the same
+    // frames.
+    const auto reference = digest_run(BackendKind::kCpu, false, 2, 1, 1);
+    for (std::size_t batch : {std::size_t{2}, std::size_t{32}, std::size_t{4096}}) {
+        EXPECT_EQ(digest_run(BackendKind::kCpu, false, 2, 1, batch).digests,
+                  reference.digests)
+            << "batch=" << batch;
+        EXPECT_EQ(digest_run(BackendKind::kCpu, true, 2, 2, batch).digests,
+                  reference.digests)
+            << "batch=" << batch << " (overlap, 2 workers)";
+    }
+}
+
 TEST(HybridOverlap, LastFrameIsTheFinalDecodedFrame) {
     for (auto backend : {BackendKind::kCpu, BackendKind::kFpga}) {
         const auto run = digest_run(backend, true);
@@ -670,20 +720,28 @@ TEST(HybridOverlap, FrameSinkRunsInFrameOrder) {
     FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 8,
                        .drift_bin_width_s = 1e-4};
     std::vector<std::uint32_t> period(layout.cells(), 2);
-    for (bool overlap : {false, true}) {
+    struct Case {
+        bool overlap;
+        std::size_t workers;
+    };
+    for (const auto& c : {Case{false, 1}, Case{true, 1}, Case{true, 2},
+                          Case{true, 4}}) {
         HybridConfig cfg;
         cfg.backend = BackendKind::kCpu;
         cfg.frames = 5;
         cfg.cpu_threads = 2;
-        cfg.overlap_decode = overlap;
+        cfg.overlap_decode = c.overlap;
+        cfg.decode_workers = c.workers;
         std::vector<std::size_t> order;
         cfg.frame_sink = [&order](std::size_t index, const Frame&) {
             order.push_back(index);
         };
         HybridPipeline(seq, layout, period, cfg).run();
-        ASSERT_EQ(order.size(), cfg.frames) << "overlap=" << overlap;
+        ASSERT_EQ(order.size(), cfg.frames)
+            << "overlap=" << c.overlap << " workers=" << c.workers;
         for (std::size_t i = 0; i < order.size(); ++i)
-            EXPECT_EQ(order[i], i) << "overlap=" << overlap;
+            EXPECT_EQ(order[i], i)
+                << "overlap=" << c.overlap << " workers=" << c.workers;
     }
 }
 

@@ -6,15 +6,17 @@
 // check.sh `tsan` stage runs this binary (and the rest of the suite) under
 // `-fsanitize=thread`, where any unsynchronized access aborts the run —
 // these tests exist to give TSan the traffic patterns worth watching:
-// capacity-boundary ring handoff, grain-boundary parallel_for writes,
-// exporters snapshotting metrics mid-flight, and orchestrator start/stop —
-// both synchronous and with the overlapped-decode worker in the loop.
+// capacity-boundary ring handoff (single-element and batch), grain-boundary
+// parallel_for writes, exporters snapshotting metrics mid-flight, and
+// orchestrator start/stop — synchronous, with one overlapped-decode worker,
+// and with several workers emitting through the ordered turnstile.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -68,6 +70,96 @@ TEST(RaceSpscRing, NonPowerOfTwoCapacityStaysFifoUnderContention) {
 
 TEST(RaceSpscRing, LargeCapacityStaysFifoUnderContention) {
     spsc_roundtrip(256, 50000);
+}
+
+TEST(RaceSpscRing, BatchHandoffStaysFifoUnderContention) {
+    // Same FIFO/completeness contract as spsc_roundtrip, but both sides move
+    // whole batches, so TSan watches the one-release-store-per-batch publish
+    // and the cached-peer-index refresh under real contention. The shallow
+    // ring forces constant partial transfers at the full/empty boundaries.
+    constexpr std::uint32_t kTotal = 100000;
+    SpscRing<std::uint32_t> ring(8);
+    std::thread producer([&] {
+        std::vector<std::uint32_t> stage;
+        std::uint32_t next = 0;
+        std::size_t batch = 1;
+        while (next < kTotal) {
+            stage.clear();
+            for (std::size_t i = 0; i < batch && next < kTotal; ++i)
+                stage.push_back(next++);
+            std::size_t off = 0;
+            while (off < stage.size()) {
+                const std::size_t n =
+                    ring.push_batch(std::span(stage).subspan(off));
+                if (n == 0) std::this_thread::yield();
+                off += n;
+            }
+            batch = batch % 13 + 1;  // 1..13: straddles the capacity
+        }
+    });
+    std::vector<std::uint32_t> out(6);
+    std::uint32_t expect = 0;
+    while (expect < kTotal) {
+        const std::size_t got = ring.pop_batch(std::span(out));
+        for (std::size_t i = 0; i < got; ++i) {
+            ASSERT_EQ(out[i], expect);
+            ++expect;
+        }
+        if (got == 0) std::this_thread::yield();
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RaceSpscRing, MixedBatchAndSingleOpsStayFifoUnderContention) {
+    // Alternating try_push/push_batch against pop_batch/try_pop keeps both
+    // cached indices going stale and refreshing while the peer moves.
+    constexpr int kTotal = 60000;
+    SpscRing<int> ring(4);
+    std::thread producer([&] {
+        int next = 0;
+        std::vector<int> stage(3);
+        while (next < kTotal) {
+            if (next % 2 == 0) {
+                while (!ring.try_push(int{next})) std::this_thread::yield();
+                ++next;
+            } else {
+                std::size_t n = 0;
+                for (; n < stage.size() && next + static_cast<int>(n) < kTotal;
+                     ++n)
+                    stage[n] = next + static_cast<int>(n);
+                std::size_t off = 0;
+                while (off < n) {
+                    const std::size_t pushed = ring.push_batch(
+                        std::span(stage).subspan(off, n - off));
+                    if (pushed == 0) std::this_thread::yield();
+                    off += pushed;
+                }
+                next += static_cast<int>(n);
+            }
+        }
+    });
+    std::vector<int> out(5);
+    int expect = 0;
+    while (expect < kTotal) {
+        if (expect % 3 == 0) {
+            if (auto v = ring.try_pop()) {
+                ASSERT_EQ(*v, expect);
+                ++expect;
+            } else {
+                std::this_thread::yield();
+            }
+        } else {
+            const std::size_t got = ring.pop_batch(std::span(out));
+            for (std::size_t i = 0; i < got; ++i) {
+                ASSERT_EQ(out[i], expect);
+                ++expect;
+            }
+            if (got == 0) std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
 }
 
 TEST(RaceSpscRing, MoveOnlyPayloadHandsOffCleanly) {
@@ -312,6 +404,55 @@ TEST(RaceHybrid, OverlappedCpuDecodeStartsAndStopsCleanly) {
         htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
         const auto report = pipeline.run();
         EXPECT_EQ(report.frames, 3u);
+    }
+}
+
+// Multiple decode workers add the ordered-emission turnstile and per-worker
+// backend instances to the shutdown picture: consumer → work deque → N
+// workers → turnstile → sink, buffers recycling through the free deque.
+// Start/stop churn across runs gives TSan the spawn/join edges; the shallow
+// ring plus a free list barely deeper than the worker count keeps every
+// handoff contended.
+TEST(RaceHybrid, MultiWorkerFpgaDecodeChurnsCleanly) {
+    const htims::prs::OversampledPrs seq(5, 1, htims::prs::GateMode::kPulsed);
+    const htims::pipeline::FrameLayout layout{
+        .drift_bins = seq.length(), .mz_bins = 8, .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 2);
+    htims::pipeline::HybridConfig cfg;
+    cfg.backend = htims::pipeline::BackendKind::kFpga;
+    cfg.frames = 4;
+    cfg.averages = 2;
+    cfg.ring_records = 2;
+    cfg.overlap_decode = true;
+    for (std::size_t workers : {std::size_t{2}, std::size_t{3}}) {
+        cfg.decode_workers = workers;
+        for (int run = 0; run < 3; ++run) {
+            htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
+            const auto report = pipeline.run();
+            EXPECT_EQ(report.frames, 4u);
+            EXPECT_EQ(report.samples, 4u * 2u * layout.cells());
+        }
+    }
+}
+
+TEST(RaceHybrid, MultiWorkerCpuDecodeChurnsCleanly) {
+    const htims::prs::OversampledPrs seq(5, 1, htims::prs::GateMode::kPulsed);
+    const htims::pipeline::FrameLayout layout{
+        .drift_bins = seq.length(), .mz_bins = 8, .drift_bin_width_s = 1e-4};
+    std::vector<std::uint32_t> period(layout.cells(), 1);
+    htims::pipeline::HybridConfig cfg;
+    cfg.backend = htims::pipeline::BackendKind::kCpu;
+    cfg.frames = 4;
+    cfg.cpu_threads = 2;
+    cfg.ring_records = 2;
+    cfg.overlap_decode = true;
+    for (std::size_t workers : {std::size_t{2}, std::size_t{3}}) {
+        cfg.decode_workers = workers;
+        for (int run = 0; run < 3; ++run) {
+            htims::pipeline::HybridPipeline pipeline(seq, layout, period, cfg);
+            const auto report = pipeline.run();
+            EXPECT_EQ(report.frames, 4u);
+        }
     }
 }
 

@@ -1,0 +1,191 @@
+// Tests for the SPSC ring's batch transfer path: push_batch/pop_batch at
+// wrap boundaries (partial push into a near-full ring, partial pop larger
+// than the fill, batches split across the wrap point), move-only payloads,
+// interleaving with the single-element ops (cached-index coherence), the
+// capacity-overflow guard, and a concurrent batch handoff stress test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pipeline/spsc_ring.hpp"
+
+namespace htims::pipeline {
+namespace {
+
+std::vector<int> iota_batch(int first, std::size_t n) {
+    std::vector<int> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = first + static_cast<int>(i);
+    return v;
+}
+
+TEST(SpscRingBatch, BatchRoundTripPreservesOrder) {
+    SpscRing<int> ring(16);
+    auto in = iota_batch(0, 10);
+    EXPECT_EQ(ring.push_batch(std::span(in)), 10u);
+    EXPECT_EQ(ring.size(), 10u);
+    std::vector<int> out(10);
+    EXPECT_EQ(ring.pop_batch(std::span(out)), 10u);
+    EXPECT_EQ(out, iota_batch(0, 10));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingBatch, PartialPushIntoNearFullRing) {
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 6; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+    // 2 slots free: a batch of 5 transfers exactly 2, the rest untouched.
+    auto in = iota_batch(100, 5);
+    EXPECT_EQ(ring.push_batch(std::span(in)), 2u);
+    EXPECT_EQ(ring.size(), 8u);
+    // Full ring: further batch pushes transfer nothing.
+    EXPECT_EQ(ring.push_batch(std::span(in)), 0u);
+    std::vector<int> out(8);
+    ASSERT_EQ(ring.pop_batch(std::span(out)), 8u);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(out[6], 100);
+    EXPECT_EQ(out[7], 101);
+}
+
+TEST(SpscRingBatch, PartialPopLargerThanFill) {
+    SpscRing<int> ring(16);
+    auto in = iota_batch(7, 3);
+    ASSERT_EQ(ring.push_batch(std::span(in)), 3u);
+    std::vector<int> out(10, -1);
+    EXPECT_EQ(ring.pop_batch(std::span(out)), 3u);
+    EXPECT_EQ(out[0], 7);
+    EXPECT_EQ(out[1], 8);
+    EXPECT_EQ(out[2], 9);
+    EXPECT_EQ(out[3], -1);  // untouched past the fill
+    // Empty ring: batch pop transfers nothing.
+    EXPECT_EQ(ring.pop_batch(std::span(out)), 0u);
+}
+
+TEST(SpscRingBatch, WraparoundSplitsBatchAcrossSegments) {
+    SpscRing<int> ring(16);
+    // Advance the indices so the next batch straddles the wrap point.
+    auto warmup = iota_batch(0, 10);
+    ASSERT_EQ(ring.push_batch(std::span(warmup)), 10u);
+    std::vector<int> sink(10);
+    ASSERT_EQ(ring.pop_batch(std::span(sink)), 10u);
+    // Slots 10..15 then 0..1: an 8-element batch copies in two segments.
+    auto in = iota_batch(100, 8);
+    EXPECT_EQ(ring.push_batch(std::span(in)), 8u);
+    std::vector<int> out(8);
+    EXPECT_EQ(ring.pop_batch(std::span(out)), 8u);
+    EXPECT_EQ(out, iota_batch(100, 8));
+}
+
+TEST(SpscRingBatch, EveryOffsetWrapsCorrectly) {
+    // March the wrap point through every slot of a small ring; each round
+    // trips a batch wide enough to straddle it.
+    SpscRing<int> ring(8);
+    int next = 0;
+    std::vector<int> out(6);
+    for (int round = 0; round < 33; ++round) {
+        auto in = iota_batch(next, 6);
+        ASSERT_EQ(ring.push_batch(std::span(in)), 6u);
+        ASSERT_EQ(ring.pop_batch(std::span(out)), 6u);
+        EXPECT_EQ(out, iota_batch(next, 6));
+        next += 6;
+    }
+}
+
+TEST(SpscRingBatch, MoveOnlyPayloadsTransferOwnership) {
+    SpscRing<std::unique_ptr<int>> ring(8);
+    std::vector<std::unique_ptr<int>> in;
+    for (int i = 0; i < 5; ++i) in.push_back(std::make_unique<int>(i));
+    ASSERT_EQ(ring.push_batch(std::span(in)), 5u);
+    for (const auto& p : in) EXPECT_EQ(p, nullptr);  // moved from
+    std::vector<std::unique_ptr<int>> out(5);
+    ASSERT_EQ(ring.pop_batch(std::span(out)), 5u);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_NE(out[static_cast<std::size_t>(i)], nullptr);
+        EXPECT_EQ(*out[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(SpscRingBatch, MixedSingleAndBatchOpsStayFifo) {
+    // The cached peer indices must stay coherent when single-element and
+    // batch operations interleave on both sides.
+    SpscRing<int> ring(8);
+    int pushed = 0, popped = 0;
+    const auto push_one = [&] { ASSERT_TRUE(ring.try_push(int{pushed++})); };
+    const auto push_some = [&](std::size_t n) {
+        auto in = iota_batch(pushed, n);
+        ASSERT_EQ(ring.push_batch(std::span(in)), n);
+        pushed += static_cast<int>(n);
+    };
+    const auto pop_one = [&] {
+        auto v = ring.try_pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, popped++);
+    };
+    const auto pop_some = [&](std::size_t n) {
+        std::vector<int> out(n);
+        ASSERT_EQ(ring.pop_batch(std::span(out)), n);
+        EXPECT_EQ(out, iota_batch(popped, n));
+        popped += static_cast<int>(n);
+    };
+    for (int round = 0; round < 20; ++round) {
+        push_one();
+        push_some(3);
+        pop_one();
+        push_some(2);
+        pop_some(3);
+        push_one();
+        pop_some(2);
+        pop_one();
+        EXPECT_TRUE(ring.empty());
+    }
+    EXPECT_EQ(pushed, popped);
+}
+
+TEST(SpscRingBatch, AbsurdCapacityRejectedBeforeRoundUpWraps) {
+    using Ring = SpscRing<int>;
+    // One past the largest power of two would wrap cap <<= 1 to zero.
+    EXPECT_THROW(Ring(Ring::kMaxCapacity + 1), ConfigError);
+    EXPECT_THROW(Ring(~std::size_t{0}), ConfigError);
+    // Ordinary capacities still round up to the next power of two.
+    EXPECT_EQ(Ring(5).capacity(), 8u);
+    EXPECT_EQ(Ring(0).capacity(), 2u);
+}
+
+TEST(SpscRingBatch, ConcurrentBatchHandoffPreservesOrderAndCount) {
+    // Producer publishes in varied batch sizes, consumer drains in batches
+    // of a different size; the stream must arrive complete and in order.
+    constexpr std::uint32_t kTotal = 200000;
+    SpscRing<std::uint32_t> ring(64);
+    std::thread producer([&] {
+        std::uint32_t next = 0;
+        std::size_t batch = 1;
+        std::vector<std::uint32_t> stage;
+        while (next < kTotal) {
+            stage.clear();
+            for (std::size_t i = 0; i < batch && next < kTotal; ++i)
+                stage.push_back(next++);
+            std::size_t off = 0;
+            while (off < stage.size())
+                off += ring.push_batch(std::span(stage).subspan(off));
+            batch = batch % 7 + 1;  // 1..7, exercises partial pushes
+        }
+    });
+    std::vector<std::uint32_t> out(5);
+    std::uint32_t expect = 0;
+    while (expect < kTotal) {
+        const std::size_t got = ring.pop_batch(std::span(out));
+        for (std::size_t i = 0; i < got; ++i) {
+            ASSERT_EQ(out[i], expect);
+            ++expect;
+        }
+        if (got == 0) std::this_thread::yield();
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace htims::pipeline

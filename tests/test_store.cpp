@@ -83,13 +83,15 @@ void record_run(const std::string& path, const FrameLayout& layout,
 }
 
 pipeline::HybridConfig test_config(pipeline::BackendKind backend, bool overlap,
-                                   std::vector<std::uint64_t>* digests) {
+                                   std::vector<std::uint64_t>* digests,
+                                   std::size_t workers = 1) {
     pipeline::HybridConfig hcfg;
     hcfg.backend = backend;
     hcfg.frames = 4;
     hcfg.averages = 2;
     hcfg.ring_records = 32;
     hcfg.overlap_decode = overlap;
+    hcfg.decode_workers = workers;
     hcfg.frame_sink = [digests](std::size_t, const Frame& f) {
         digests->push_back(pipeline::frame_digest(f));
     };
@@ -99,6 +101,7 @@ pipeline::HybridConfig test_config(pipeline::BackendKind backend, bool overlap,
 struct RoundTripCase {
     pipeline::BackendKind backend;
     bool overlap;
+    std::size_t workers = 1;
 };
 
 class StoreRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
@@ -109,7 +112,8 @@ TEST_P(StoreRoundTrip, ReplayDigestsAreBitIdenticalToLive) {
     ScratchFile scratch("store_roundtrip.htstore");
 
     std::vector<std::uint64_t> live_digests;
-    auto hcfg = test_config(GetParam().backend, GetParam().overlap, &live_digests);
+    auto hcfg = test_config(GetParam().backend, GetParam().overlap,
+                            &live_digests, GetParam().workers);
     record_run(scratch.path, layout, period, hcfg.frames, hcfg.averages);
     {
         pipeline::HybridPipeline live(test_sequence(), layout, period, hcfg);
@@ -126,7 +130,8 @@ TEST_P(StoreRoundTrip, ReplayDigestsAreBitIdenticalToLive) {
     ReplaySource source(reader, ReplayConfig{});
     EXPECT_EQ(source.skipped(), 0u);
     std::vector<std::uint64_t> replay_digests;
-    auto rcfg = test_config(GetParam().backend, GetParam().overlap, &replay_digests);
+    auto rcfg = test_config(GetParam().backend, GetParam().overlap,
+                            &replay_digests, GetParam().workers);
     pipeline::HybridPipeline replay(test_sequence(), layout, source, rcfg);
     (void)replay.run();
 
@@ -137,14 +142,17 @@ INSTANTIATE_TEST_SUITE_P(
     BackendsAndDecodeModes, StoreRoundTrip,
     ::testing::Values(RoundTripCase{pipeline::BackendKind::kCpu, false},
                       RoundTripCase{pipeline::BackendKind::kCpu, true},
+                      RoundTripCase{pipeline::BackendKind::kCpu, true, 2},
                       RoundTripCase{pipeline::BackendKind::kFpga, false},
-                      RoundTripCase{pipeline::BackendKind::kFpga, true}),
+                      RoundTripCase{pipeline::BackendKind::kFpga, true},
+                      RoundTripCase{pipeline::BackendKind::kFpga, true, 4}),
     [](const auto& param_info) {
         return std::string(param_info.param.backend ==
                                    pipeline::BackendKind::kCpu
                                ? "cpu"
                                : "fpga") +
-               (param_info.param.overlap ? "_overlap" : "_sync");
+               (param_info.param.overlap ? "_overlap" : "_sync") + "_w" +
+               std::to_string(param_info.param.workers);
     });
 
 TEST(StoreWriteFaults, TornPagesLoseFramesButSurvivorsMatchLiveBySeq) {
