@@ -6,21 +6,31 @@
 #   werror     configure build-lint/ with -DHTIMS_WERROR=ON and build the
 #              world: the library must be -Wall -Wextra -Wshadow
 #              -Wconversion -Wsign-conversion clean, promoted to errors.
-#   tidy       clang-tidy over the compile database build-lint/ exports.
-#              SKIPped (not failed) when clang-tidy is not installed — the
-#              werror and rules stages still gate the commit.
+#   tidy       clang-tidy over the compile database build-lint/ exports,
+#              covering src/, bench/, and examples/. SKIPped (not failed)
+#              when clang-tidy is not installed — the werror and rules
+#              stages still gate the commit.
 #   rules      repo-specific greps that no general tool enforces:
 #                * no raw `new`/`delete` outside src/common/ — ownership
 #                  lives in containers and the aligned-buffer allocator;
-#                * no `std::endl` anywhere in src/ — the pipeline writes
-#                  through buffered streams, and endl's flush in a per-frame
-#                  loop is a silent throughput bug;
+#                * no `std::endl` anywhere in src/, bench/, or examples/ —
+#                  the pipeline writes through buffered streams, and endl's
+#                  flush in a per-frame loop is a silent throughput bug;
 #                * no naked `std::thread` outside src/common/thread_pool.*
 #                  and src/pipeline/hybrid.cpp — thread lifetime is owned by
 #                  ThreadPool; hybrid.cpp is allowlisted because its producer
 #                  thread is constructed and joined inside one scope of
 #                  run(), which *is* the ownership rule. Tests may spawn
 #                  threads freely.
+#                * every `std::atomic` outside src/common/ (the atomics
+#                  policy itself) and src/check/ (the model checker's shadow
+#                  atomics) must be accounted for in the "Concurrency
+#                  inventory" table of DESIGN.md, or carry an explicit
+#                  `atomics-waiver: <reason>` comment on the declaration
+#                  line. Lock-free code does not get added to this repo
+#                  silently: either it is documented (and thereby a
+#                  candidate for a model-checking litmus unit), or it says
+#                  in-line why it is exempt.
 #
 # Usage: scripts/lint.sh [--no-tidy] [--no-werror] [--no-rules]
 set -uo pipefail
@@ -67,9 +77,11 @@ if [[ "$run_tidy" == 1 ]]; then
         [[ -f build-lint/compile_commands.json ]] ||
             cmake -B build-lint -S . -DHTIMS_WERROR=ON > /dev/null
         if command -v run-clang-tidy > /dev/null 2>&1; then
-            tidy_cmd=(run-clang-tidy -p build-lint -quiet "src/.*\.cpp$")
+            tidy_cmd=(run-clang-tidy -p build-lint -quiet
+                      "(src|bench|examples)/.*\.cpp$")
         else
-            mapfile -t tidy_files < <(find src -name '*.cpp' | sort)
+            mapfile -t tidy_files \
+                < <(find src bench examples -name '*.cpp' | sort)
             tidy_cmd=(clang-tidy -p build-lint --quiet "${tidy_files[@]}")
         fi
         if "${tidy_cmd[@]}"; then
@@ -106,14 +118,16 @@ if [[ "$run_rules" == 1 ]]; then
         fi
     done < <(find src -name '*.cpp' -o -name '*.hpp' | grep -v '^src/common/' | sort)
 
-    # Rule 2: no std::endl anywhere in src/ (flush-per-line in frame loops).
+    # Rule 2: no std::endl in src/, bench/, or examples/ (flush-per-line in
+    # frame loops; benches and examples are the copy-paste sources for user
+    # code, so they are held to the same bar).
     while IFS= read -r f; do
         if decomment "$f" | grep -n 'std::endl' | grep -q .; then
             echo "rule violation (std::endl in library code): $f"
             decomment "$f" | grep -n 'std::endl'
             rules_bad=1
         fi
-    done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+    done < <(find src bench examples -name '*.cpp' -o -name '*.hpp' | sort)
 
     # Rule 3: no naked std::thread outside the thread pool and the hybrid
     # orchestrator (whose producer and decode worker are constructed and
@@ -122,6 +136,10 @@ if [[ "$run_rules" == 1 ]]; then
         case "$f" in
             src/common/thread_pool.hpp|src/common/thread_pool.cpp) continue ;;
             src/pipeline/hybrid.cpp) continue ;;
+            # The model checker owns its pool of cooperative worker threads
+            # outright (created by the explorer, joined in wind-down) — the
+            # same single-scope ownership rule as hybrid.cpp.
+            src/check/model.cpp) continue ;;
         esac
         if decomment "$f" | grep -nE 'std::thread[^_[:alnum:]]' | grep -q .; then
             echo "rule violation (naked std::thread outside thread_pool/hybrid): $f"
@@ -129,6 +147,27 @@ if [[ "$run_rules" == 1 ]]; then
             rules_bad=1
         fi
     done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+
+    # Rule 4: std::atomic outside src/common/ (the atomics policy) and
+    # src/check/ (the model checker) must appear in DESIGN.md's
+    # "Concurrency inventory" table or carry an `atomics-waiver:` comment
+    # on the declaration line. File-granular: listing a file in the
+    # inventory covers every atomic in it, since the table documents the
+    # file's whole protocol.
+    inventory=$(awk '/^## Concurrency inventory/{on=1; next} /^## /{on=0} on' \
+        DESIGN.md)
+    while IFS= read -r f; do
+        if grep -qF "\`$f\`" <<< "$inventory"; then continue; fi
+        while IFS= read -r lineno; do
+            raw=$(sed -n "${lineno}p" "$f")
+            if [[ "$raw" == *atomics-waiver:* ]]; then continue; fi
+            echo "rule violation (std::atomic not in DESIGN.md concurrency" \
+                 "inventory and no atomics-waiver): $f:$lineno"
+            echo "    $raw"
+            rules_bad=1
+        done < <(decomment "$f" | grep -n 'std::atomic' | cut -d: -f1)
+    done < <(find src -name '*.cpp' -o -name '*.hpp' |
+             grep -vE '^src/(common|check)/' | sort)
 
     if [[ "$rules_bad" == 0 ]]; then
         stage rules PASS

@@ -1,0 +1,262 @@
+// litmus.hpp — the litmus-unit registry shared by tests/test_model.cpp and
+// tools/modelcheck.
+//
+// Each unit is a small concurrent program over the *production* protocol
+// templates (SpscRing, OrderTurnstile, BasicTraceBuffer) instantiated with
+// the model-checking atomics policy. Run through check(), a unit proves a
+// protocol property over EVERY interleaving and every allowed weak-memory
+// read. Units paired with a mutant policy (src/check/mutants.hpp) also act
+// as soundness probes: the same body under the mutant must produce a
+// failing interleaving, or the `model` gate fails.
+//
+// Litmus bodies make a bounded number of attempts (no unbounded spinning:
+// a spin loop would give the DFS an unbounded schedule tree) and assert
+// order/visibility properties conditionally on what an interleaving
+// delivered. Visibility bugs surface as data races on the plain payload
+// slots (model::var is vector-clock race checked), which is what lets a
+// demoted release publish be caught even when every asserted *value* still
+// comes out right.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/model.hpp"
+#include "check/mutants.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "pipeline/turnstile.hpp"
+#include "telemetry/trace.hpp"
+
+namespace htims::check {
+
+// ---- litmus bodies (templated over the atomics policy) --------------------
+
+/// Single push/pop at capacity 2: slot handoff + FIFO for single-record ops.
+template <typename P>
+void litmus_ring_single_push_pop() {
+    pipeline::SpscRing<std::uint64_t, P> ring(2);
+    thread producer([&] {
+        MODEL_ASSERT(ring.try_push(11));  // empty ring: must fit
+        MODEL_ASSERT(ring.try_push(22));  // one consumer pop at most: fits
+    });
+    std::uint64_t expect = 11;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        auto v = ring.try_pop();
+        if (v.has_value()) {
+            MODEL_ASSERT(*v == expect);
+            expect += 11;
+        }
+    }
+    producer.join();
+}
+
+/// push_batch/pop_batch across the wrap boundary at capacity 2: the batch
+/// is published with one release store, so a concurrent pop_batch sees all
+/// of it or none of it.
+template <typename P>
+void litmus_ring_batch_wrap() {
+    pipeline::SpscRing<std::uint64_t, P> ring(2);
+    // Advance head to the wrap point single-threaded: the batch below then
+    // spans slots [1, 0].
+    MODEL_ASSERT(ring.try_push(1));
+    MODEL_ASSERT(ring.try_pop().has_value());
+    thread producer([&] {
+        std::array<std::uint64_t, 2> in{7, 8};
+        MODEL_ASSERT(ring.push_batch(std::span(in)) == 2);  // ring is empty
+    });
+    std::array<std::uint64_t, 2> out{};
+    const std::size_t got = ring.pop_batch(std::span(out));
+    MODEL_ASSERT(got == 0 || got == 2);  // single-store publish: no half batch
+    if (got == 2) {
+        MODEL_ASSERT(out[0] == 7);
+        MODEL_ASSERT(out[1] == 8);
+    }
+    producer.join();
+}
+
+/// Mixed single/batch traffic at capacity 2: FIFO with no loss or
+/// duplication whatever the interleaving delivers.
+template <typename P>
+void litmus_ring_mixed_ops() {
+    pipeline::SpscRing<std::uint64_t, P> ring(2);
+    thread producer([&] {
+        MODEL_ASSERT(ring.try_push(1));
+        std::array<std::uint64_t, 2> in{2, 3};
+        ring.push_batch(std::span(in));  // 0..2 fit depending on the consumer
+    });
+    std::uint64_t expect = 1;
+    std::array<std::uint64_t, 2> out{};
+    const std::size_t got = ring.pop_batch(std::span(out));
+    for (std::size_t i = 0; i < got; ++i) {
+        MODEL_ASSERT(out[i] == expect);
+        ++expect;
+    }
+    auto v = ring.try_pop();
+    if (v.has_value()) {
+        MODEL_ASSERT(*v == expect);
+        ++expect;
+    }
+    producer.join();
+}
+
+/// Cached-peer-index staleness: a full ring, a concurrent pop, and a third
+/// push that can only proceed by refreshing the producer's tail cache —
+/// the refresh must also acquire the consumer's read of the recycled slot.
+template <typename P>
+void litmus_ring_cached_peer_staleness() {
+    pipeline::SpscRing<std::uint64_t, P> ring(2);
+    MODEL_ASSERT(ring.try_push(1));
+    MODEL_ASSERT(ring.try_push(2));  // full: producer's tail cache is stale
+    thread consumer([&] {
+        auto v = ring.try_pop();
+        MODEL_ASSERT(v.has_value() && *v == 1);
+    });
+    // Reuses slot 0 (which the consumer reads) iff the refreshed cache
+    // proves the pop completed.
+    const bool pushed = ring.try_push(3);
+    consumer.join();
+    auto a = ring.try_pop();
+    MODEL_ASSERT(a.has_value() && *a == 2);
+    auto b = ring.try_pop();
+    MODEL_ASSERT(b.has_value() == pushed);
+    if (pushed) MODEL_ASSERT(*b == 3);
+}
+
+/// N workers emit through the turnstile in frame order; a shared plain cell
+/// written by each emission pins both the ordering and the inter-emission
+/// happens-before edge (a demoted order turns it into a data race).
+template <typename P>
+void litmus_turnstile_ordered(std::size_t workers) {
+    pipeline::OrderTurnstile<P> ts;
+    typename P::template var<std::uint64_t> shared{0};
+    std::vector<thread> pool;
+    for (std::size_t i = 0; i < workers; ++i) {
+        pool.emplace_back([&ts, &shared, i] {
+            MODEL_ASSERT(ts.wait_turn(i));
+            MODEL_ASSERT(shared.load_plain() == i);  // emissions in frame order
+            shared.store_plain(i + 1);
+            ts.advance();
+        });
+    }
+    for (auto& t : pool) t.join();
+    MODEL_ASSERT(shared.load_plain() == workers);
+}
+
+template <typename P>
+void litmus_turnstile_ordered_2() {
+    litmus_turnstile_ordered<P>(2);
+}
+
+template <typename P>
+void litmus_turnstile_ordered_3() {
+    litmus_turnstile_ordered<P>(3);
+}
+
+/// abort() releases a waiter blocked on a turn that will never come, and a
+/// late advance() cannot resurrect the turnstile.
+template <typename P>
+void litmus_turnstile_abort() {
+    pipeline::OrderTurnstile<P> ts;
+    thread waiter([&] {
+        MODEL_ASSERT(!ts.wait_turn(1));  // turn 1 is never granted
+    });
+    ts.abort();
+    waiter.join();
+    ts.advance();  // racing/late advance stays inside the aborted band
+    MODEL_ASSERT(!ts.wait_turn(2));
+}
+
+/// Two writers record spans while a reader snapshots mid-flight: the
+/// snapshot sees only fully-published events, never a torn slot.
+template <typename P>
+void litmus_trace_snapshot_during_record() {
+    telemetry::BasicTraceBuffer<P> buf(2);
+    auto make_event = [](std::uint32_t k) {
+        telemetry::SpanEvent ev;
+        ev.name_id = k;
+        ev.thread = k;
+        ev.start_ns = k;
+        ev.end_ns = k;
+        return ev;
+    };
+    thread w1([&] { buf.record(make_event(1)); });
+    thread w2([&] { buf.record(make_event(2)); });
+    const auto mid = buf.events();  // concurrent with both writers
+    MODEL_ASSERT(mid.size() <= 2);
+    for (const auto& ev : mid)
+        MODEL_ASSERT(ev.name_id >= 1 && ev.name_id <= 2 &&
+                     ev.start_ns == ev.name_id);
+    w1.join();
+    w2.join();
+    MODEL_ASSERT(buf.events().size() == 2);
+    MODEL_ASSERT(buf.dropped() == 0);
+}
+
+/// Pins the audited conclusion that events() may read next_ relaxed: the
+/// per-slot acquire flag alone carries the happens-before for the payload,
+/// and a stale next_ can only undercount the scan. Exhaustive over one
+/// writer vs one mid-flight snapshot.
+template <typename P>
+void litmus_trace_relaxed_next_audit() {
+    telemetry::BasicTraceBuffer<P> buf(1);
+    thread writer([&] {
+        telemetry::SpanEvent ev;
+        ev.name_id = 1;
+        ev.start_ns = 1;
+        ev.end_ns = 1;
+        buf.record(ev);
+    });
+    const auto mid = buf.events();
+    MODEL_ASSERT(mid.size() <= 1);
+    if (!mid.empty()) MODEL_ASSERT(mid[0].name_id == 1 && mid[0].start_ns == 1);
+    writer.join();
+    MODEL_ASSERT(buf.events().size() == 1);
+}
+
+// ---- registry -------------------------------------------------------------
+
+/// One registered litmus unit: the healthy body must PASS exhaustively; the
+/// mutated body (when present) must produce a failing interleaving.
+struct LitmusUnit {
+    std::string name;
+    std::string mutant;  ///< empty when the unit has no paired mutant
+    std::function<void()> healthy;
+    std::function<void()> mutated;  ///< null when the unit has no mutant
+};
+
+inline const std::vector<LitmusUnit>& litmus_units() {
+    static const std::vector<LitmusUnit> units = {
+        {"ring_single_push_pop", "ring_publish_relaxed",
+         litmus_ring_single_push_pop<ModelAtomics>,
+         litmus_ring_single_push_pop<MutantRingPublishRelaxed>},
+        {"ring_batch_wrap", "ring_publish_relaxed",
+         litmus_ring_batch_wrap<ModelAtomics>,
+         litmus_ring_batch_wrap<MutantRingPublishRelaxed>},
+        {"ring_mixed_ops", "",
+         litmus_ring_mixed_ops<ModelAtomics>, nullptr},
+        {"ring_cached_peer_staleness", "ring_peer_relaxed",
+         litmus_ring_cached_peer_staleness<ModelAtomics>,
+         litmus_ring_cached_peer_staleness<MutantRingPeerRelaxed>},
+        {"turnstile_ordered_2", "turnstile_advance_relaxed",
+         litmus_turnstile_ordered_2<ModelAtomics>,
+         litmus_turnstile_ordered_2<MutantTurnstileAdvanceRelaxed>},
+        {"turnstile_ordered_3", "turnstile_observe_relaxed",
+         litmus_turnstile_ordered_3<ModelAtomics>,
+         litmus_turnstile_ordered_3<MutantTurnstileObserveRelaxed>},
+        {"turnstile_abort", "",
+         litmus_turnstile_abort<ModelAtomics>, nullptr},
+        {"trace_snapshot_during_record", "trace_publish_relaxed",
+         litmus_trace_snapshot_during_record<ModelAtomics>,
+         litmus_trace_snapshot_during_record<MutantTracePublishRelaxed>},
+        {"trace_relaxed_next_audit", "trace_acquire_relaxed",
+         litmus_trace_relaxed_next_audit<ModelAtomics>,
+         litmus_trace_relaxed_next_audit<MutantTraceAcquireRelaxed>},
+    };
+    return units;
+}
+
+}  // namespace htims::check

@@ -15,6 +15,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "pipeline/turnstile.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace htims::pipeline {
@@ -35,8 +36,11 @@ struct Block {
 /// Handoff between the consumer and the decode workers in overlapped-decode
 /// mode: a pool of reusable buffers ("free") and a FIFO of closed frames
 /// awaiting decode ("work"). One or more workers drain the FIFO; with
-/// several, each takes the next frame in sequence and the OrderedEmitter
-/// below restores frame order at emission. close() releases the workers
+/// several, each takes the next frame in sequence and the OrderTurnstile
+/// (pipeline/turnstile.hpp) restores frame order at emission — its
+/// release-advance/acquire-observe edge also makes each emission's writes
+/// to the shared report and frame marker visible to the next emitter, so
+/// they need no further synchronization. close() releases the workers
 /// once the stream ends; abort() releases a consumer blocked on pop_free()
 /// when a worker dies mid-run (no buffer would ever return).
 template <typename Job>
@@ -105,47 +109,6 @@ private:
     std::deque<Job> free_;
     std::deque<Job> work_;
     bool closed_ = false;
-    bool aborted_ = false;
-};
-
-/// Sequence-ordered reassembly turnstile for multi-worker decode: workers
-/// decode concurrently, then emit (report fields, frame_sink, frame mark)
-/// one at a time in frame order. wait_turn(i) blocks until every emission
-/// before frame i has advanced the turnstile; the mutex hand-off also makes
-/// each emission's writes visible to the next emitter, so the shared report
-/// and frame marker need no further synchronization. abort() releases every
-/// waiter (returning false) when a worker dies, so buffers still recycle
-/// and the pipeline can drain.
-class OrderedEmitter {
-public:
-    /// Returns true when it is frame `index`'s turn to emit; false after
-    /// abort() (skip emission, still recycle the buffer).
-    bool wait_turn(std::size_t index) {
-        std::unique_lock lock(mutex_);
-        cv_.wait(lock, [&] { return next_ == index || aborted_; });
-        return !aborted_;
-    }
-
-    void advance() {
-        {
-            std::lock_guard lock(mutex_);
-            ++next_;
-        }
-        cv_.notify_all();
-    }
-
-    void abort() {
-        {
-            std::lock_guard lock(mutex_);
-            aborted_ = true;
-        }
-        cv_.notify_all();
-    }
-
-private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::size_t next_ = 0;
     bool aborted_ = false;
 };
 
@@ -616,7 +579,7 @@ HybridReport HybridPipeline::run() {
                 for (std::size_t i = 0; i + 1 < buffers; ++i)
                     channel.push_free(Job{});  // bins allocated on first recycle
 
-                OrderedEmitter emitter;
+                OrderTurnstile<> emitter;
                 auto frame_mark = make_frame_marker();  // shared: called only
                                                         // inside the ordered
                                                         // emission section
@@ -772,7 +735,7 @@ HybridReport HybridPipeline::run() {
                                                     config_.cpu_retry_backoff_s);
                 }
 
-                OrderedEmitter emitter;
+                OrderTurnstile<> emitter;
                 auto frame_mark = make_frame_marker();  // shared: called only
                                                         // inside the ordered
                                                         // emission section

@@ -15,6 +15,14 @@
 //    side's index and only re-reads the shared atomic when the cached
 //    distance can no longer prove space (producer) or data (consumer).
 //    A push/pop that the cache can prove does zero atomic loads.
+//
+// The ring is templatized over an atomics policy (common/atomics_policy.hpp)
+// so the exhaustive model checker in src/check/ can instantiate the *same*
+// protocol logic with shadow atomics and verify every interleaving under the
+// simulated C++11 memory model; the default policy is std::atomic with the
+// canonical orders and compiles to the untemplatized code exactly. The
+// happens-before argument lives in DESIGN.md ("Memory model"); the litmus
+// units live in src/check/litmus.hpp.
 #pragma once
 
 #include <atomic>
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
+#include "common/atomics_policy.hpp"
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 
@@ -41,7 +50,7 @@ namespace htims::pipeline {
 /// is a use-after-free. (HybridPipeline::run() satisfies this by joining its
 /// producer before the ring leaves scope; the consumer is run()'s own
 /// thread.) The TSan gate's shutdown stress test pins this ordering down.
-template <typename T>
+template <typename T, typename Atomics = common::StdAtomics>
 class SpscRing {
 public:
     /// Largest accepted capacity: one more doubling would wrap size_t.
@@ -68,15 +77,15 @@ public:
     bool try_push(T&& value) {
         const std::size_t head = head_.load(std::memory_order_relaxed);
         if (head - tail_cache_ > mask_) {
-            tail_cache_ = tail_.load(std::memory_order_acquire);
+            tail_cache_ = tail_.load(Atomics::ring_peer_acquire);
             // tail can only trail head from the producer's view; a fill level
             // past capacity means a second producer (or a torn shutdown).
             HTIMS_DCHECK(head - tail_cache_ <= mask_ + 1,
                          "SPSC fill level exceeds capacity");
             if (head - tail_cache_ > mask_) return false;
         }
-        slots_[head & mask_] = std::move(value);
-        head_.store(head + 1, std::memory_order_release);
+        slots_[head & mask_].store_plain(std::move(value));
+        head_.store(head + 1, Atomics::ring_publish);
         return true;
     }
 
@@ -88,7 +97,7 @@ public:
         const std::size_t head = head_.load(std::memory_order_relaxed);
         std::size_t free_slots = mask_ + 1 - (head - tail_cache_);
         if (free_slots < items.size()) {
-            tail_cache_ = tail_.load(std::memory_order_acquire);
+            tail_cache_ = tail_.load(Atomics::ring_peer_acquire);
             HTIMS_DCHECK(head - tail_cache_ <= mask_ + 1,
                          "SPSC fill level exceeds capacity");
             free_slots = mask_ + 1 - (head - tail_cache_);
@@ -98,10 +107,10 @@ public:
         const std::size_t start = head & mask_;
         const std::size_t first = std::min(n, mask_ + 1 - start);
         for (std::size_t i = 0; i < first; ++i)
-            slots_[start + i] = std::move(items[i]);
+            slots_[start + i].store_plain(std::move(items[i]));
         for (std::size_t i = first; i < n; ++i)
-            slots_[i - first] = std::move(items[i]);
-        head_.store(head + n, std::memory_order_release);
+            slots_[i - first].store_plain(std::move(items[i]));
+        head_.store(head + n, Atomics::ring_publish);
         return n;
     }
 
@@ -109,13 +118,13 @@ public:
     std::optional<T> try_pop() {
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         if (tail == head_cache_) {
-            head_cache_ = head_.load(std::memory_order_acquire);
+            head_cache_ = head_.load(Atomics::ring_peer_acquire);
             HTIMS_DCHECK(head_cache_ - tail <= mask_ + 1,
                          "SPSC fill level exceeds capacity");
             if (tail == head_cache_) return std::nullopt;
         }
-        T value = std::move(slots_[tail & mask_]);
-        tail_.store(tail + 1, std::memory_order_release);
+        T value = slots_[tail & mask_].take_plain();
+        tail_.store(tail + 1, Atomics::ring_publish);
         return value;
     }
 
@@ -127,7 +136,7 @@ public:
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         std::size_t available = head_cache_ - tail;
         if (available < out.size()) {
-            head_cache_ = head_.load(std::memory_order_acquire);
+            head_cache_ = head_.load(Atomics::ring_peer_acquire);
             HTIMS_DCHECK(head_cache_ - tail <= mask_ + 1,
                          "SPSC fill level exceeds capacity");
             available = head_cache_ - tail;
@@ -137,10 +146,10 @@ public:
         const std::size_t start = tail & mask_;
         const std::size_t first = std::min(n, mask_ + 1 - start);
         for (std::size_t i = 0; i < first; ++i)
-            out[i] = std::move(slots_[start + i]);
+            out[i] = slots_[start + i].take_plain();
         for (std::size_t i = first; i < n; ++i)
-            out[i] = std::move(slots_[i - first]);
-        tail_.store(tail + n, std::memory_order_release);
+            out[i] = slots_[i - first].take_plain();
+        tail_.store(tail + n, Atomics::ring_publish);
         return n;
     }
 
@@ -153,13 +162,15 @@ public:
     bool empty() const { return size() == 0; }
 
 private:
-    std::vector<T> slots_;
+    using AtomicIndex = typename Atomics::template atomic<std::size_t>;
+
+    std::vector<typename Atomics::template var<T>> slots_;
     std::size_t mask_ = 0;
     // Producer-owned line: the published head plus the producer's private
     // view of the consumer's tail. Consumer-owned line symmetric.
-    alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+    alignas(kCacheLine) AtomicIndex head_{0};
     std::size_t tail_cache_ = 0;
-    alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+    alignas(kCacheLine) AtomicIndex tail_{0};
     std::size_t head_cache_ = 0;
 };
 

@@ -12,8 +12,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
+#include "common/atomics_policy.hpp"
 #include "common/contracts.hpp"
 #include "telemetry/metric.hpp"
 
@@ -42,21 +44,32 @@ struct SpanEvent {
 /// being filled, instead of reading a torn SpanEvent. clear() is the only
 /// operation that still requires writer quiescence, since it retires every
 /// slot at once.
-class TraceBuffer {
+///
+/// Templatized over the atomics policy (common/atomics_policy.hpp) so the
+/// model checker can instantiate this exact publish protocol; the litmus
+/// units `trace_*` in src/check/litmus.hpp exhaustively verify the
+/// snapshot-during-record path. Use the `TraceBuffer` alias in production.
+template <typename Atomics = common::StdAtomics>
+class BasicTraceBuffer {
+    // Under the model-checking policy every atomic op may throw ModelAbort
+    // (execution wind-down), so only the production instantiation is
+    // noexcept — same signature there as before templatization.
+    static constexpr bool kNothrow = std::is_same_v<Atomics, common::StdAtomics>;
+
 public:
-    explicit TraceBuffer(std::size_t capacity = 8192)
+    explicit BasicTraceBuffer(std::size_t capacity = 8192)
         : slots_(capacity), ready_(capacity) {}
 
-    TraceBuffer(const TraceBuffer&) = delete;
-    TraceBuffer& operator=(const TraceBuffer&) = delete;
+    BasicTraceBuffer(const BasicTraceBuffer&) = delete;
+    BasicTraceBuffer& operator=(const BasicTraceBuffer&) = delete;
 
     std::size_t capacity() const noexcept { return slots_.size(); }
 
-    void record(const SpanEvent& ev) noexcept {
+    void record(const SpanEvent& ev) noexcept(kNothrow) {
         const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i < slots_.size()) {
-            slots_[i] = ev;
-            ready_[i].store(1, std::memory_order_release);
+            slots_[i].store_plain(ev);
+            ready_[i].store(1, Atomics::trace_publish);
         } else {
             dropped_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -64,6 +77,14 @@ public:
 
     /// Copy of the published spans. Safe concurrently with record();
     /// in-flight slots (reserved but not yet published) are skipped.
+    ///
+    /// The relaxed load of next_ is deliberate and audited (litmus unit
+    /// trace_relaxed_next_audit): next_ only *bounds the scan* — it is
+    /// monotonic, so a stale read can at worst undercount and stop the loop
+    /// early, never index an unwritten slot. The happens-before edge that
+    /// makes each SpanEvent safe to copy is carried entirely by the per-slot
+    /// ready flag (trace_publish release store → trace_acquire load below);
+    /// upgrading the next_ load to acquire would add nothing.
     std::vector<SpanEvent> events() const {
         const std::uint64_t n =
             std::min<std::uint64_t>(next_.load(std::memory_order_relaxed),
@@ -71,30 +92,33 @@ public:
         std::vector<SpanEvent> out;
         out.reserve(static_cast<std::size_t>(n));
         for (std::uint64_t i = 0; i < n; ++i)
-            if (ready_[i].load(std::memory_order_acquire) != 0)
-                out.push_back(slots_[i]);
+            if (ready_[i].load(Atomics::trace_acquire) != 0)
+                out.push_back(slots_[i].load_plain());
         return out;
     }
 
-    std::uint64_t dropped() const noexcept {
+    std::uint64_t dropped() const noexcept(kNothrow) {
         return dropped_.load(std::memory_order_relaxed);
     }
 
     /// Reset to empty. Requires writer quiescence (unlike events()).
-    void clear() noexcept {
+    void clear() noexcept(kNothrow) {
         for (auto& r : ready_) r.store(0, std::memory_order_relaxed);
         next_.store(0, std::memory_order_relaxed);
         dropped_.store(0, std::memory_order_relaxed);
     }
 
 private:
-    std::vector<SpanEvent> slots_;
+    std::vector<typename Atomics::template var<SpanEvent>> slots_;
     // deque is unusable here (atomics are not movable); a plain vector of
     // atomics is fine because the buffer never resizes after construction.
-    std::vector<std::atomic<std::uint8_t>> ready_;
-    std::atomic<std::uint64_t> next_{0};
-    std::atomic<std::uint64_t> dropped_{0};
+    std::vector<typename Atomics::template atomic<std::uint8_t>> ready_;
+    typename Atomics::template atomic<std::uint64_t> next_{0};
+    typename Atomics::template atomic<std::uint64_t> dropped_{0};
 };
+
+/// The production trace buffer: BasicTraceBuffer over real std::atomic.
+using TraceBuffer = BasicTraceBuffer<>;
 
 /// RAII span: stamps the start on construction and records the completed
 /// event on destruction. A span constructed while telemetry is disabled

@@ -12,6 +12,7 @@
 // and with several workers emitting through the ordered turnstile.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -140,6 +141,62 @@ TEST(RaceSpscRing, MixedBatchAndSingleOpsStayFifoUnderContention) {
         }
     });
     std::vector<int> out(5);
+    int expect = 0;
+    while (expect < kTotal) {
+        if (expect % 3 == 0) {
+            if (auto v = ring.try_pop()) {
+                ASSERT_EQ(*v, expect);
+                ++expect;
+            } else {
+                std::this_thread::yield();
+            }
+        } else {
+            const std::size_t got = ring.pop_batch(std::span(out));
+            for (std::size_t i = 0; i < got; ++i) {
+                ASSERT_EQ(out[i], expect);
+                ++expect;
+            }
+            if (got == 0) std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RaceSpscRing, CapacityTwoMixedOpsWrapStaysFifoUnderContention) {
+    // Full-speed mirror of the model-checked litmus units (src/check/
+    // litmus.hpp ring_*): capacity 2 keeps every push/pop a wrap-boundary
+    // event and every batch split across the wrap point, while alternating
+    // single/batch ops on both sides churns the cached peer indices through
+    // maximum staleness. The model checker proves every interleaving of the
+    // small program; this runs the same protocol shape billions of ops deep
+    // under TSan.
+    constexpr int kTotal = 80000;
+    SpscRing<int> ring(2);
+    std::thread producer([&] {
+        int next = 0;
+        std::array<int, 2> stage{};
+        while (next < kTotal) {
+            if (next % 2 == 0) {
+                while (!ring.try_push(int{next})) std::this_thread::yield();
+                ++next;
+            } else {
+                std::size_t n = 0;
+                for (; n < stage.size() && next + static_cast<int>(n) < kTotal;
+                     ++n)
+                    stage[n] = next + static_cast<int>(n);
+                std::size_t off = 0;
+                while (off < n) {
+                    const std::size_t pushed = ring.push_batch(
+                        std::span(stage).subspan(off, n - off));
+                    if (pushed == 0) std::this_thread::yield();
+                    off += pushed;
+                }
+                next += static_cast<int>(n);
+            }
+        }
+    });
+    std::array<int, 2> out{};
     int expect = 0;
     while (expect < kTotal) {
         if (expect % 3 == 0) {

@@ -1,0 +1,125 @@
+// modelcheck — exhaustive litmus gate over the lock-free protocol layer.
+//
+// Runs every registered litmus unit (src/check/litmus.hpp) through the
+// model checker, unbounded and exhaustive, then runs every unit's paired
+// memory-order mutant and requires the checker to catch it. Exit 0 only
+// when all healthy units pass completely AND all mutants are detected —
+// this is what the `model` stage of scripts/check.sh invokes.
+//
+// Usage: modelcheck [--list] [--unit NAME] [--bound N] [--no-mutants]
+//                   [--verbose]
+//   --list        print unit names and exit
+//   --unit NAME   run only NAME (healthy + its mutant)
+//   --bound N     preemption bound (default: unbounded/exhaustive)
+//   --no-mutants  skip the mutation soundness pass
+//   --verbose     print failure traces as they are found
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "check/litmus.hpp"
+#include "check/model.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using htims::check::litmus_units;
+
+    bool list = false;
+    bool run_mutants = true;
+    bool verbose = false;
+    std::string only;
+    htims::check::Options opt;  // defaults: unbounded, exhaustive
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--unit" && i + 1 < argc) {
+            only = argv[++i];
+        } else if (arg == "--bound" && i + 1 < argc) {
+            opt.preemption_bound = std::atoi(argv[++i]);
+        } else if (arg == "--no-mutants") {
+            run_mutants = false;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: modelcheck [--list] [--unit NAME] [--bound N] "
+                         "[--no-mutants] [--verbose]\n");
+            return 2;
+        }
+    }
+    opt.verbose = verbose;
+
+    if (list) {
+        for (const auto& u : litmus_units())
+            std::printf("%s%s%s\n", u.name.c_str(),
+                        u.mutated ? "  mutant:" : "",
+                        u.mutated ? u.mutant.c_str() : "");
+        return 0;
+    }
+
+    int failures = 0;
+    int ran = 0;
+    for (const auto& u : litmus_units()) {
+        if (!only.empty() && u.name != only) continue;
+        ++ran;
+
+        auto t0 = std::chrono::steady_clock::now();
+        const auto healthy = htims::check::check(opt, u.healthy);
+        std::printf("%-32s %-7s %8llu execs %10llu steps  %.2fs\n",
+                    u.name.c_str(),
+                    healthy ? "PASS" : (healthy.ok ? "PARTIAL" : "FAIL"),
+                    static_cast<unsigned long long>(healthy.executions),
+                    static_cast<unsigned long long>(healthy.steps),
+                    seconds_since(t0));
+        if (!healthy) {
+            ++failures;
+            if (!healthy.ok)
+                std::fprintf(stderr, "%s: %s\n", u.name.c_str(),
+                             healthy.failure.c_str());
+            else
+                std::fprintf(stderr,
+                             "%s: exploration incomplete (hit a cap)\n",
+                             u.name.c_str());
+            continue;  // a broken healthy unit makes its mutant meaningless
+        }
+
+        if (!run_mutants || !u.mutated) continue;
+        t0 = std::chrono::steady_clock::now();
+        const auto mutated = htims::check::check(opt, u.mutated);
+        const bool caught = !mutated.ok;
+        std::printf("%-32s %-7s %8llu execs %10llu steps  %.2fs\n",
+                    ("  mutant:" + u.mutant).c_str(),
+                    caught ? "CAUGHT" : "MISSED",
+                    static_cast<unsigned long long>(mutated.executions),
+                    static_cast<unsigned long long>(mutated.steps),
+                    seconds_since(t0));
+        if (!caught) {
+            ++failures;
+            std::fprintf(stderr,
+                         "%s: seeded mutant %s NOT caught — the checker "
+                         "cannot see this class of ordering bug\n",
+                         u.name.c_str(), u.mutant.c_str());
+        }
+    }
+
+    if (ran == 0) {
+        std::fprintf(stderr, "no litmus unit named '%s'\n", only.c_str());
+        return 2;
+    }
+    if (failures != 0) {
+        std::fprintf(stderr, "modelcheck: %d failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("modelcheck: all %d unit(s) green\n", ran);
+    return 0;
+}
