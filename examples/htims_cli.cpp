@@ -8,12 +8,15 @@
 //   $ ./examples/htims_cli --order 8 --oversampling 2 --averages 8
 //   $ ./examples/htims_cli --mode sa --averages 16 --save frame.htms
 //   $ ./examples/htims_cli --sample digest --count 100
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/htims.hpp"
+#include "pipeline/fleet.hpp"
 #include "store/frame_store.hpp"
 #include "store/replay.hpp"
 
@@ -49,6 +52,13 @@ void usage() {
         "                        (layout must match --order/--oversampling)\n"
         "  --replay-rate X       playback speed vs the recorded line rate\n"
         "                        (default 0 = as fast as the link accepts)\n"
+        "  --fleet SPEC          run the acquired frame as a multi-stream\n"
+        "                        fleet over a shared decode pool. SPEC is\n"
+        "                        N[:workers[:frames]] (default workers 2,\n"
+        "                        frames 4); stream backends alternate\n"
+        "                        starting from --backend\n"
+        "  --fleet-json PATH     write the fleet report (per-stream and\n"
+        "                        aggregate p99 frame latency) as JSON\n"
         "  --save PATH           write the deconvolved frame (binary)\n"
         "  --csv                 print the feature table as CSV\n"
         "  --telemetry           print the telemetry report after the run\n"
@@ -65,6 +75,8 @@ int main(int argc, char** argv) {
     std::string save_path;
     std::string record_path;
     std::string replay_path;
+    std::string fleet_spec;
+    std::string fleet_json_path;
     double replay_rate = 0.0;
     std::string telemetry_json_path;
     bool csv = false;
@@ -123,6 +135,12 @@ int main(int argc, char** argv) {
             decode_workers = static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (arg == "--batch") {
             batch_records = static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--fleet" || arg.rfind("--fleet=", 0) == 0) {
+            fleet_spec = arg == "--fleet"
+                             ? next()
+                             : arg.substr(std::string("--fleet=").size());
+        } else if (arg == "--fleet-json") {
+            fleet_json_path = next();
         } else if (arg == "--record") {
             record_path = next();
         } else if (arg == "--replay") {
@@ -244,6 +262,81 @@ int main(int argc, char** argv) {
                       << ", decode-wait "
                       << format_double(overlap_report.decode_wait_seconds * 1e3, 2)
                       << " ms)\n";
+        }
+
+        if (!fleet_spec.empty()) {
+            // Run N copies of the acquired stream as an instrument fleet
+            // over one shared decode pool. Backends alternate per stream
+            // (starting from --backend), so the report shows both decode
+            // paths contending for the same workers.
+            std::size_t n_streams = 0, workers = 2, frames = 4;
+            {
+                std::size_t a = 0, b = 0, c = 0;
+                const int got = std::sscanf(fleet_spec.c_str(), "%zu:%zu:%zu",
+                                            &a, &b, &c);
+                if (got < 1 || a == 0) {
+                    std::cerr << "bad --fleet spec \"" << fleet_spec
+                              << "\" (want N[:workers[:frames]])\n";
+                    return 2;
+                }
+                n_streams = a;
+                if (got >= 2 && b > 0) workers = b;
+                if (got >= 3 && c > 0) frames = c;
+            }
+            const auto period = pipeline::to_period_samples(
+                run.acquisition.raw, cfg.acquisition.averages);
+            std::vector<pipeline::FleetStream> streams;
+            streams.reserve(n_streams);
+            for (std::size_t si = 0; si < n_streams; ++si) {
+                pipeline::HybridConfig hcfg;
+                hcfg.backend =
+                    (si % 2 == 0) == (cfg.backend == pipeline::BackendKind::kCpu)
+                        ? pipeline::BackendKind::kCpu
+                        : pipeline::BackendKind::kFpga;
+                hcfg.frames = frames;
+                hcfg.averages = cfg.acquisition.averages;
+                hcfg.cpu_threads = 1;
+                hcfg.fpga = cfg.fpga;
+                hcfg.batch_records = batch_records;
+                streams.push_back(pipeline::FleetStream{
+                    simulator.engine().sequence(), simulator.layout(), hcfg,
+                    period, nullptr});
+            }
+            pipeline::FleetConfig fc;
+            fc.decode_workers = workers;
+            pipeline::FleetRunner runner(std::move(streams), fc);
+            const auto fleet = runner.run();
+            std::cout << "fleet: " << n_streams << " stream(s) x " << frames
+                      << " frame(s), " << workers << " shared worker(s): "
+                      << format_double(fleet.sample_rate / 1e6, 2)
+                      << " Msamples/s aggregate, p99 frame latency "
+                      << format_double(
+                             static_cast<double>(fleet.frame_latency.p99) / 1e6,
+                             2)
+                      << " ms\n";
+            for (std::size_t si = 0; si < fleet.streams.size(); ++si) {
+                const auto& s = fleet.streams[si];
+                std::cout << "fleet: stream " << si << " ("
+                          << (si % 2 == 0 ? (cfg.backend == pipeline::BackendKind::kCpu ? "cpu" : "fpga")
+                                          : (cfg.backend == pipeline::BackendKind::kCpu ? "fpga" : "cpu"))
+                          << ") " << format_double(s.report.sample_rate / 1e6, 2)
+                          << " Msamples/s, p99 "
+                          << format_double(
+                                 static_cast<double>(s.frame_latency.p99) / 1e6,
+                                 2)
+                          << " ms\n";
+            }
+            if (!fleet_json_path.empty()) {
+                std::ofstream out(fleet_json_path);
+                if (!out) {
+                    std::cerr << "error: cannot write " << fleet_json_path
+                              << "\n";
+                    return 1;
+                }
+                out << pipeline::fleet_report_json(fleet) << "\n";
+                std::cout << "fleet report written to " << fleet_json_path
+                          << "\n";
+            }
         }
 
         if (!record_path.empty() || !replay_path.empty()) {

@@ -5,7 +5,10 @@
 # reporting one PASS/FAIL line (with its wall-clock time) in the summary:
 #
 #   tier1     configure + build + full ctest in build-check/ (the baseline
-#             configuration every PR must keep green).
+#             configuration every PR must keep green), then the `fleet`
+#             label re-run — the fleet-parity digest matrix
+#             (tests/test_fleet.cpp) that pins every fleet stream
+#             bit-identical to its solo run.
 #   model     exhaustive model-checking gate in build-check/: `ctest -L
 #             model` (the engine self-tests and the bounded litmus run in
 #             tests/test_model.cpp), then tools/modelcheck unbounded — every
@@ -24,8 +27,11 @@
 #             ring at capacity boundaries (including the capacity-2 mixed
 #             single/batch wrap stress mirroring the model-checked litmus
 #             units), parallel_for grain edges, exporter-vs-writer telemetry
-#             traffic, and hybrid start/stop under backpressure — synchronous
-#             and overlapped-decode. The `tsan` ctest label then re-runs that
+#             traffic, hybrid start/stop under backpressure — synchronous
+#             and overlapped-decode — and fleet churn: multi-stream
+#             start/stop over the shared MPMC dispatch queue, dispatch
+#             backpressure, and pool shutdown with a non-empty queue. The
+#             `tsan` ctest label then re-runs that
 #             focused set a second time for extra interleavings. TSan aborts
 #             the run on any report, so a green stage means zero races
 #             observed.
@@ -39,13 +45,15 @@
 #             asserting zero contract aborts, exact injected-vs-recovered
 #             accounting, and seed-reproducible counts across two runs.
 #   bench     bench-smoke gate in build-check/: build the bench targets,
-#             then run bench_kernels with a tiny min_time (telemetry off so
-#             no JSON reports land in the tree). Fails on a crash/nonzero
-#             exit or on a "REGRESSION" marker in the output — the marker
-#             bench_kernels prints when a headline speedup (batch ring
-#             transport vs per-record) drops below 1.0. Not a perf gate —
-#             the numbers are smoke-level — but it keeps every bench
-#             compiling and catches protocol-level throughput inversions.
+#             then run bench_kernels with a tiny min_time and bench_e16_fleet
+#             --tiny (telemetry off so no JSON reports land in the tree).
+#             Fails on a crash/nonzero exit or on a "REGRESSION" marker in
+#             the output — bench_kernels prints one when a headline speedup
+#             (batch ring transport vs per-record) drops below 1.0, and
+#             bench_e16_fleet prints one when the 4-stream paced aggregate
+#             falls below 2x the single-stream rate. Not a perf gate — the
+#             numbers are smoke-level — but it keeps every bench compiling
+#             and catches protocol-level throughput inversions.
 #
 # Build trees are persistent (build-check/, build-asan/, build-tsan/,
 # build-lint/), so repeat runs share configure caches and only recompile
@@ -131,9 +139,14 @@ ensure_check_tree() {
 }
 
 if [[ "$run_tier1" == 1 ]]; then
-    echo "== tier-1: build + ctest =="
+    echo "== tier-1: build + ctest (+ fleet-parity re-run) =="
     begin
-    if build_and_test build-check; then stage tier1 PASS; else stage tier1 FAIL; fi
+    if build_and_test build-check &&
+        ctest --test-dir build-check -L fleet --output-on-failure -j "$jobs"; then
+        stage tier1 PASS
+    else
+        stage tier1 FAIL
+    fi
 else
     stage tier1 "SKIP (--only)"
 fi
@@ -221,9 +234,11 @@ if [[ "$run_bench" == 1 ]]; then
     if ensure_check_tree &&
         cmake --build build-check -j "$jobs" \
             --target bench_kernels bench_e3_throughput bench_e4_scaling \
-                     bench_e17_replay > /dev/null &&
+                     bench_e16_fleet bench_e17_replay > /dev/null &&
         HTIMS_TELEMETRY=0 build-check/bench/bench_kernels \
             --benchmark_min_time=0.01 | tee "$bench_log" &&
+        HTIMS_TELEMETRY=0 build-check/bench/bench_e16_fleet --tiny \
+            | tee -a "$bench_log" &&
         ! grep -q '^REGRESSION' "$bench_log"; then
         stage bench PASS
     else

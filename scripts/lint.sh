@@ -16,10 +16,11 @@
 #                * no `std::endl` anywhere in src/, bench/, or examples/ —
 #                  the pipeline writes through buffered streams, and endl's
 #                  flush in a per-frame loop is a silent throughput bug;
-#                * no naked `std::thread` outside src/common/thread_pool.*
-#                  and src/pipeline/hybrid.cpp — thread lifetime is owned by
-#                  ThreadPool; hybrid.cpp is allowlisted because its producer
-#                  thread is constructed and joined inside one scope of
+#                * no naked `std::thread` outside src/common/thread_pool.*,
+#                  src/pipeline/hybrid.cpp, and src/pipeline/fleet.cpp —
+#                  thread lifetime is owned by ThreadPool; the orchestrators
+#                  are allowlisted because their producer/consumer/worker
+#                  threads are constructed and joined inside one scope of
 #                  run(), which *is* the ownership rule. Tests may spawn
 #                  threads freely.
 #                * every `std::atomic` outside src/common/ (the atomics
@@ -136,6 +137,10 @@ if [[ "$run_rules" == 1 ]]; then
         case "$f" in
             src/common/thread_pool.hpp|src/common/thread_pool.cpp) continue ;;
             src/pipeline/hybrid.cpp) continue ;;
+            # The fleet orchestrator follows the same rule: every producer,
+            # consumer, and pool worker thread is constructed and joined
+            # inside one scope of FleetRunner::run().
+            src/pipeline/fleet.cpp) continue ;;
             # The model checker owns its pool of cooperative worker threads
             # outright (created by the explorer, joined in wind-down) — the
             # same single-scope ownership rule as hybrid.cpp.

@@ -27,6 +27,7 @@
 
 #include "check/model.hpp"
 #include "check/mutants.hpp"
+#include "pipeline/mpmc_queue.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "pipeline/turnstile.hpp"
 #include "telemetry/trace.hpp"
@@ -170,6 +171,165 @@ void litmus_turnstile_abort() {
     MODEL_ASSERT(!ts.wait_turn(2));
 }
 
+/// Two turnstiles (two fleet streams) sharing a worker pool never
+/// cross-release: each instance's waiter is released only by that
+/// instance's advance, and the advance→observe edge carries the emitting
+/// stream's payload writes across workers — per instance, even while the
+/// other turnstile churns concurrently.
+template <typename P>
+void litmus_turnstile_per_stream_independence() {
+    pipeline::OrderTurnstile<P> a;
+    pipeline::OrderTurnstile<P> b;
+    typename P::template var<std::uint64_t> a_val{0};
+    typename P::template var<std::uint64_t> b_val{0};
+    thread w1([&] {
+        MODEL_ASSERT(a.wait_turn(0));
+        a_val.store_plain(1);
+        a.advance();
+        MODEL_ASSERT(b.wait_turn(1));  // released only by w2's b.advance()
+        MODEL_ASSERT(b_val.load_plain() == 1);
+    });
+    thread w2([&] {
+        MODEL_ASSERT(b.wait_turn(0));
+        b_val.store_plain(1);
+        b.advance();
+        MODEL_ASSERT(a.wait_turn(1));  // released only by w1's a.advance()
+        MODEL_ASSERT(a_val.load_plain() == 1);
+    });
+    w1.join();
+    w2.join();
+}
+
+/// MPMC dispatch: one producer hands one element to a concurrent consumer.
+/// The consumer's payload move-out must be ordered after the producer's
+/// payload write by the slot ticket alone (a demoted publish is a data race
+/// on the payload slot).
+template <typename P>
+void litmus_mpmc_single_handoff() {
+    pipeline::MpmcQueue<std::uint64_t, P> q(2);
+    thread producer([&] { MODEL_ASSERT(q.try_push(7)); });
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        auto v = q.try_pop();
+        if (v.has_value()) {
+            MODEL_ASSERT(*v == 7);
+            break;
+        }
+    }
+    producer.join();
+}
+
+/// The empty↔non-empty boundary: a concurrent pop either misses the push
+/// (empty) or gets the whole element; after the join exactly one element
+/// total was delivered, and the queue reads empty again.
+template <typename P>
+void litmus_mpmc_empty_boundary() {
+    pipeline::MpmcQueue<std::uint64_t, P> q(2);
+    thread producer([&] { MODEL_ASSERT(q.try_push(5)); });
+    auto v1 = q.try_pop();  // concurrent: empty or {5}
+    if (v1.has_value()) MODEL_ASSERT(*v1 == 5);
+    producer.join();
+    auto v2 = q.try_pop();
+    MODEL_ASSERT(v1.has_value() != v2.has_value());  // exactly one delivery
+    if (v2.has_value()) MODEL_ASSERT(*v2 == 5);
+    MODEL_ASSERT(!q.try_pop().has_value());
+}
+
+/// The full↔free boundary across the slot-recycle edge: a full queue, a
+/// concurrent pop, and a third push that can only land in the recycled
+/// slot — the producer's ticket read must also acquire the consumer's
+/// drain of that slot (mirrors ring_cached_peer_staleness).
+template <typename P>
+void litmus_mpmc_full_wrap() {
+    pipeline::MpmcQueue<std::uint64_t, P> q(2);
+    MODEL_ASSERT(q.try_push(1));
+    MODEL_ASSERT(q.try_push(2));  // full
+    thread consumer([&] {
+        auto v = q.try_pop();
+        MODEL_ASSERT(v.has_value() && *v == 1);
+    });
+    const bool pushed = q.try_push(3);  // lands iff slot 0 was recycled
+    consumer.join();
+    auto a = q.try_pop();
+    MODEL_ASSERT(a.has_value() && *a == 2);  // FIFO preserved
+    auto b = q.try_pop();
+    MODEL_ASSERT(b.has_value() == pushed);
+    if (pushed) MODEL_ASSERT(*b == 3);
+}
+
+/// Two concurrent producers: head-CAS arbitration gives each a distinct
+/// slot — both elements arrive, neither is lost or duplicated, and the
+/// queue is exactly drained afterwards (enqueue linearizability).
+template <typename P>
+void litmus_mpmc_two_producers() {
+    pipeline::MpmcQueue<std::uint64_t, P> q(2);
+    thread p1([&] { MODEL_ASSERT(q.try_push(1)); });
+    thread p2([&] { MODEL_ASSERT(q.try_push(2)); });
+    p1.join();
+    p2.join();
+    auto a = q.try_pop();
+    auto b = q.try_pop();
+    MODEL_ASSERT(a.has_value() && b.has_value());
+    std::uint64_t seen = 0;
+    seen |= std::uint64_t{1} << *a;
+    seen |= std::uint64_t{1} << *b;
+    MODEL_ASSERT(seen == 0b110);  // exactly {1, 2}, any order
+    MODEL_ASSERT(!q.try_pop().has_value());
+}
+
+/// Two concurrent consumers over a pre-filled queue: tail-CAS arbitration
+/// gives each a distinct element (dequeue linearizability — no element
+/// vanishes, none is delivered twice).
+template <typename P>
+void litmus_mpmc_two_consumers() {
+    pipeline::MpmcQueue<std::uint64_t, P> q(2);
+    MODEL_ASSERT(q.try_push(1));
+    MODEL_ASSERT(q.try_push(2));
+    typename P::template var<std::uint64_t> got1{0};
+    typename P::template var<std::uint64_t> got2{0};
+    thread c1([&] {
+        auto v = q.try_pop();
+        if (v.has_value()) got1.store_plain(*v);
+    });
+    thread c2([&] {
+        auto v = q.try_pop();
+        if (v.has_value()) got2.store_plain(*v);
+    });
+    c1.join();
+    c2.join();
+    const std::uint64_t a = got1.load_plain();
+    const std::uint64_t b = got2.load_plain();
+    // Both elements were published before the consumers started, so each
+    // pop wins a distinct one.
+    MODEL_ASSERT(a != 0 && b != 0);
+    MODEL_ASSERT(a + b == 3);
+    MODEL_ASSERT(!q.try_pop().has_value());
+}
+
+/// Two producers against two consumers (main is the second consumer) at
+/// capacity 2: whatever the interleaving, the multiset of delivered
+/// elements is exactly the multiset pushed. One pop attempt per consumer —
+/// enough for every push/pop pairing to interleave while keeping the state
+/// space exhaustively explorable.
+template <typename P>
+void litmus_mpmc_two_producers_two_consumers() {
+    pipeline::MpmcQueue<std::uint64_t, P> q(2);
+    typename P::template var<std::uint64_t> got{0};
+    thread p1([&] { MODEL_ASSERT(q.try_push(1)); });
+    thread p2([&] { MODEL_ASSERT(q.try_push(2)); });
+    thread c1([&] {
+        auto v = q.try_pop();
+        if (v.has_value()) got.store_plain(*v);
+    });
+    std::uint64_t mine = 0;
+    if (auto v = q.try_pop()) mine = *v;
+    p1.join();
+    p2.join();
+    c1.join();
+    std::uint64_t sum = mine + got.load_plain();
+    while (auto v = q.try_pop()) sum += *v;  // leftovers (bounded: <= 2)
+    MODEL_ASSERT(sum == 3);
+}
+
 /// Two writers record spans while a reader snapshots mid-flight: the
 /// snapshot sees only fully-published events, never a torn slot.
 template <typename P>
@@ -226,7 +386,22 @@ struct LitmusUnit {
     std::string mutant;  ///< empty when the unit has no paired mutant
     std::function<void()> healthy;
     std::function<void()> mutated;  ///< null when the unit has no mutant
+    /// Per-unit preemption-bound cap, applied on top of the driver's bound
+    /// (the tighter one wins); -1 = follow the driver unchanged. Only for
+    /// units whose full schedule tree is intractable (4+ threads): every
+    /// seeded mutant in this registry is caught within 2 preemptions, so a
+    /// cap of 3 still covers the bug class with headroom while keeping the
+    /// exhaustive `model` stage minutes, not hours.
+    int preemption_cap = -1;
 };
+
+/// The effective preemption bound for a unit: the tighter of the driver's
+/// bound and the unit's cap (-1 = unbounded on either side).
+inline int litmus_effective_bound(int driver_bound, int unit_cap) {
+    if (unit_cap < 0) return driver_bound;
+    if (driver_bound < 0) return unit_cap;
+    return driver_bound < unit_cap ? driver_bound : unit_cap;
+}
 
 inline const std::vector<LitmusUnit>& litmus_units() {
     static const std::vector<LitmusUnit> units = {
@@ -249,6 +424,24 @@ inline const std::vector<LitmusUnit>& litmus_units() {
          litmus_turnstile_ordered_3<MutantTurnstileObserveRelaxed>},
         {"turnstile_abort", "",
          litmus_turnstile_abort<ModelAtomics>, nullptr},
+        {"turnstile_per_stream_independence", "",
+         litmus_turnstile_per_stream_independence<ModelAtomics>, nullptr},
+        {"mpmc_single_handoff", "mpmc_slot_publish_relaxed",
+         litmus_mpmc_single_handoff<ModelAtomics>,
+         litmus_mpmc_single_handoff<MutantMpmcSlotPublishRelaxed>},
+        {"mpmc_empty_boundary", "mpmc_slot_acquire_relaxed",
+         litmus_mpmc_empty_boundary<ModelAtomics>,
+         litmus_mpmc_empty_boundary<MutantMpmcSlotAcquireRelaxed>},
+        {"mpmc_full_wrap", "mpmc_slot_acquire_relaxed",
+         litmus_mpmc_full_wrap<ModelAtomics>,
+         litmus_mpmc_full_wrap<MutantMpmcSlotAcquireRelaxed>},
+        {"mpmc_two_producers", "",
+         litmus_mpmc_two_producers<ModelAtomics>, nullptr},
+        {"mpmc_two_consumers", "",
+         litmus_mpmc_two_consumers<ModelAtomics>, nullptr},
+        {"mpmc_2p2c", "",
+         litmus_mpmc_two_producers_two_consumers<ModelAtomics>, nullptr,
+         /*preemption_cap=*/3},
         {"trace_snapshot_during_record", "trace_publish_relaxed",
          litmus_trace_snapshot_during_record<ModelAtomics>,
          litmus_trace_snapshot_during_record<MutantTracePublishRelaxed>},

@@ -293,6 +293,8 @@ struct ModelAtomics {
     static constexpr std::memory_order ring_peer_acquire = std::memory_order_acquire;
     static constexpr std::memory_order turnstile_advance = std::memory_order_release;
     static constexpr std::memory_order turnstile_observe = std::memory_order_acquire;
+    static constexpr std::memory_order mpmc_slot_publish = std::memory_order_release;
+    static constexpr std::memory_order mpmc_slot_acquire = std::memory_order_acquire;
     static constexpr std::memory_order trace_publish = std::memory_order_release;
     static constexpr std::memory_order trace_acquire = std::memory_order_acquire;
 };

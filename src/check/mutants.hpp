@@ -42,6 +42,19 @@ struct MutantTurnstileObserveRelaxed : ModelAtomics {
     static constexpr std::memory_order turnstile_observe = std::memory_order_relaxed;
 };
 
+/// MpmcQueue: the per-slot ticket publish demoted — a claimant can see the
+/// ticket advance without the payload write (producer side) or the drain
+/// (consumer side) that preceded it.
+struct MutantMpmcSlotPublishRelaxed : ModelAtomics {
+    static constexpr std::memory_order mpmc_slot_publish = std::memory_order_relaxed;
+};
+
+/// MpmcQueue: the claimant's ticket read demoted — the slot can be claimed
+/// without acquiring the previous owner's payload traffic.
+struct MutantMpmcSlotAcquireRelaxed : ModelAtomics {
+    static constexpr std::memory_order mpmc_slot_acquire = std::memory_order_relaxed;
+};
+
 /// TraceBuffer: the per-slot ready-flag publish demoted — a snapshot can
 /// copy a SpanEvent the writer has not finished filling.
 struct MutantTracePublishRelaxed : ModelAtomics {

@@ -74,6 +74,18 @@ struct StdAtomics {
     /// wait re-check). Acquire, pairing with turnstile_advance.
     static constexpr std::memory_order turnstile_observe = std::memory_order_acquire;
 
+    // --- MpmcQueue --------------------------------------------------------
+    /// A producer publishing a filled dispatch slot (and a consumer
+    /// recycling a drained one): the per-slot ticket store after the payload
+    /// write. Release, so the next claimant's acquire load of the ticket
+    /// sees the payload (producer→consumer) or the drained slot
+    /// (consumer→producer).
+    static constexpr std::memory_order mpmc_slot_publish = std::memory_order_release;
+    /// A claimant reading a slot's ticket to decide whether the slot is
+    /// ready for it. Acquire, pairing with mpmc_slot_publish in both
+    /// directions of the slot's life cycle.
+    static constexpr std::memory_order mpmc_slot_acquire = std::memory_order_acquire;
+
     // --- TraceBuffer ------------------------------------------------------
     /// A writer publishing a filled span slot (the per-slot ready flag
     /// store). Release, so a snapshot's acquire sees the whole SpanEvent.

@@ -1,10 +1,7 @@
 #include "pipeline/hybrid.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -15,104 +12,11 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "pipeline/stream_link.hpp"
 #include "pipeline/turnstile.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace htims::pipeline {
-
-namespace {
-
-/// One streamed block: a view into the replayed period template, tagged
-/// with its global record index so the consumer can close frames correctly
-/// even when records were dropped upstream. `end` marks the stream
-/// sentinel the producer always delivers (never dropped).
-struct Block {
-    const std::uint32_t* data = nullptr;
-    std::size_t size = 0;
-    std::uint64_t seq = 0;
-    bool end = false;
-};
-
-/// Handoff between the consumer and the decode workers in overlapped-decode
-/// mode: a pool of reusable buffers ("free") and a FIFO of closed frames
-/// awaiting decode ("work"). One or more workers drain the FIFO; with
-/// several, each takes the next frame in sequence and the OrderTurnstile
-/// (pipeline/turnstile.hpp) restores frame order at emission — its
-/// release-advance/acquire-observe edge also makes each emission's writes
-/// to the shared report and frame marker visible to the next emitter, so
-/// they need no further synchronization. close() releases the workers
-/// once the stream ends; abort() releases a consumer blocked on pop_free()
-/// when a worker dies mid-run (no buffer would ever return).
-template <typename Job>
-class DecodeChannel {
-public:
-    void push_free(Job job) {
-        {
-            std::lock_guard lock(mutex_);
-            free_.push_back(std::move(job));
-        }
-        cv_free_.notify_one();
-    }
-
-    /// Blocks until a spent buffer comes back; nullopt after abort().
-    std::optional<Job> pop_free() {
-        std::unique_lock lock(mutex_);
-        cv_free_.wait(lock, [&] { return !free_.empty() || aborted_; });
-        if (free_.empty()) return std::nullopt;
-        Job job = std::move(free_.front());
-        free_.pop_front();
-        return job;
-    }
-
-    /// Queue a closed frame; returns the queue depth just after the push.
-    std::size_t push_work(Job job) {
-        std::size_t depth = 0;
-        {
-            std::lock_guard lock(mutex_);
-            work_.push_back(std::move(job));
-            depth = work_.size();
-        }
-        cv_work_.notify_one();
-        return depth;
-    }
-
-    /// Blocks for the next closed frame; nullopt once closed and drained.
-    std::optional<Job> pop_work() {
-        std::unique_lock lock(mutex_);
-        cv_work_.wait(lock, [&] { return !work_.empty() || closed_; });
-        if (work_.empty()) return std::nullopt;
-        Job job = std::move(work_.front());
-        work_.pop_front();
-        return job;
-    }
-
-    void close() {
-        {
-            std::lock_guard lock(mutex_);
-            closed_ = true;
-        }
-        cv_work_.notify_all();
-    }
-
-    void abort() {
-        {
-            std::lock_guard lock(mutex_);
-            aborted_ = true;
-        }
-        cv_free_.notify_all();
-    }
-
-private:
-    std::mutex mutex_;
-    std::condition_variable cv_free_;
-    std::condition_variable cv_work_;
-    std::deque<Job> free_;
-    std::deque<Job> work_;
-    bool closed_ = false;
-    bool aborted_ = false;
-};
-
-}  // namespace
 
 PeriodTemplateSource::PeriodTemplateSource(std::vector<std::uint32_t> period_samples,
                                            const FrameLayout& layout,
@@ -259,185 +163,39 @@ HybridReport HybridPipeline::run() {
     const std::uint64_t records_per_frame =
         static_cast<std::uint64_t>(config_.averages) * records_per_period;
 
+    // The transport protocol bodies live in pipeline/stream_link.hpp, shared
+    // verbatim with the fleet runner; only the accounting hooks differ (the
+    // hybrid path feeds the global telemetry registry and its report).
+    const LinkParams link{record_len,
+                          records_per_period,
+                          records_total,
+                          records_per_frame,
+                          config_.frames,
+                          batch_cap,
+                          consume_cap,
+                          config_.ring_policy,
+                          config_.ring_timeout_s,
+                          faults};
+
     double producer_stall = 0.0;
     std::thread producer([&] {
-        // Blocking push with stall accounting; returns false if the
-        // bounded wait expired (kBlock with a timeout).
-        const auto push_blocking = [&](Block block) {
-            WallTimer stall;
-            const bool bounded = config_.ring_timeout_s > 0.0 && !block.end;
-            while (!ring.try_push(Block{block})) {
-                if (bounded && stall.seconds() > config_.ring_timeout_s) {
-                    const double stalled = stall.seconds();
-                    producer_stall += stalled;
-                    if (tel_on) {
-                        c_stalls.increment();
-                        h_stall.observe(static_cast<std::uint64_t>(stalled * 1e9));
-                    }
-                    return false;
-                }
-                std::this_thread::yield();
-            }
-            const double stalled = stall.seconds();
-            if (stalled > 0.0) {
-                producer_stall += stalled;
-                if (tel_on) {
-                    c_stalls.increment();
-                    h_stall.observe(static_cast<std::uint64_t>(stalled * 1e9));
-                }
-            }
-            return true;
-        };
-
-        // Per-record slow path: a record that met a full (or fault-forced
-        // "full") link goes through the configured policy.
-        const auto push_policy = [&](const Block& block) {
-            switch (config_.ring_policy) {
-                case RingFullPolicy::kBlock:
-                    push_blocking(block);  // timeout expiry drops the record;
-                                           // the consumer sees the seq gap
-                    break;
-                case RingFullPolicy::kDropNewest:
-                    // dropped; accounted by the consumer via seq gap
-                    break;
-                case RingFullPolicy::kDropOldest:
-                    drop_credits.fetch_add(1, std::memory_order_release);
-                    if (!push_blocking(block)) {
-                        // The bounded wait expired too: this record is lost
-                        // to the timeout (the consumer sees the seq gap), so
-                        // revoke the credit if it is still unspent —
-                        // otherwise the consumer would later discard a live
-                        // record that displaced nothing, dropping two
-                        // records for one overrun.
-                        std::uint64_t credits =
-                            drop_credits.load(std::memory_order_acquire);
-                        while (credits > 0 &&
-                               !drop_credits.compare_exchange_weak(
-                                   credits, credits - 1,
-                                   std::memory_order_acq_rel)) {
-                        }
-                    }
-                    break;
-            }
-        };
-
-        // Batch staging: consecutive unpaced, unfaulted records accumulate
-        // here and publish with one ring operation (one release-store).
-        std::vector<Block> stage;
-        stage.reserve(batch_cap);
-        const auto flush_stage = [&] {
-            std::size_t off = 0;
-            while (off < stage.size()) {
-                const std::size_t pushed =
-                    ring.push_batch(std::span(stage).subspan(off));
-                if (pushed == 0) break;
-                off += pushed;
-            }
-            // Records that met a full ring fall back to the per-record
-            // policy machinery, so drop/block semantics are identical to
-            // per-record transport.
-            for (; off < stage.size(); ++off) {
-                if (ring.try_push(Block{stage[off]})) continue;
-                push_policy(stage[off]);
-            }
-            stage.clear();
-        };
-
-        WallTimer stream_clock;  // release_ns pacing is relative to here
-        std::uint64_t seq = 0;
-        while (seq < records_total) {
-            // Line-rate pacing: sleep off the bulk of the wait, then spin
-            // the sub-scheduler-quantum tail so release jitter stays small.
-            // Earlier records must reach the link before this one waits.
-            const std::uint64_t release = source_->release_ns(seq);
-            if (release > 0) {
-                flush_stage();
-                for (;;) {
-                    const double remain_s =
-                        static_cast<double>(release) * 1e-9 - stream_clock.seconds();
-                    if (remain_s <= 0.0) break;
-                    if (remain_s > 200e-6)
-                        std::this_thread::sleep_for(std::chrono::duration<double>(
-                            remain_s - 100e-6));
-                    else
-                        std::this_thread::yield();
-                }
-            }
-
-            if (faults != nullptr) {
-                // Faulted runs take the record-at-a-time path so the
-                // injector's per-record event order is exactly the
-                // per-record transport's.
-                const auto jitter = faults->decide(fault::Site::kLinkJitter);
-                if (jitter.fire) {
-                    // A short, plan-determined transport hiccup (10..80 us).
-                    const auto us = 10 * (1 + faults->draw_below(
-                                             fault::Site::kLinkJitter,
-                                             jitter.event, 8));
-                    std::this_thread::sleep_for(
-                        std::chrono::microseconds(us));
-                    if (tel_on) c_jitter.increment();
-                }
-                const auto row = source_->record(seq);
-                HTIMS_DCHECK(row.size() == record_len,
-                             "record source rows span the m/z axis");
-                const Block block{row.data(), row.size(), seq, false};
-                ++seq;
-                if (faults->should_fire(fault::Site::kLinkOverrun)) {
-                    // Forced overrun: straight to the policy, behind
-                    // everything staged before it.
-                    flush_stage();
-                    push_policy(block);
-                } else {
-                    stage.push_back(block);
-                    if (stage.size() >= batch_cap ||
-                        seq % records_per_frame == 0)
-                        flush_stage();
-                }
-                continue;
-            }
-
-            // Fault-free fast path: stage a contiguous run of records, cut
-            // at the batch size and the frame boundary (publications stay
-            // frame-local). Batch a run only when its *last* record
-            // releases immediately — release times are non-decreasing, so
-            // the whole run does; paced streams fall back to record-at-a-
-            // time with the wait above.
-            std::uint64_t want = static_cast<std::uint64_t>(batch_cap - stage.size());
-            const std::uint64_t frame_end =
-                (seq / records_per_frame + 1) * records_per_frame;
-            want = std::min(want, frame_end - seq);
-            if (want > 1 && source_->release_ns(seq + want - 1) > 0) want = 1;
-            const auto rows =
-                source_->record_block(seq, static_cast<std::size_t>(want));
-            const std::size_t k = rows.size() / record_len;
-            HTIMS_DCHECK(k >= 1 && k <= want && rows.size() == k * record_len,
-                         "record_block returns 1..max_records whole rows");
-            for (std::size_t j = 0; j < k; ++j)
-                stage.push_back(Block{rows.data() + j * record_len, record_len,
-                                      seq + j, false});
-            seq += k;
-            if (stage.size() >= batch_cap || seq % records_per_frame == 0)
-                flush_stage();
-        }
-        flush_stage();
-        // Stream-end sentinel: always delivered, whatever the policy.
-        push_blocking(Block{nullptr, 0, records_total, true});
+        produce_stream(ring, *source_, link, drop_credits,
+                       ProducerHooks{
+                           [&](double stalled) {
+                               producer_stall += stalled;
+                               if (tel_on) {
+                                   c_stalls.increment();
+                                   h_stall.observe(static_cast<std::uint64_t>(
+                                       stalled * 1e9));
+                               }
+                           },
+                           [&] {
+                               if (tel_on) c_jitter.increment();
+                           },
+                       });
     });
 
     WallTimer wall;
-
-    // Per-frame degradation flags (a frame is degraded when at least one of
-    // its records was dropped anywhere on the link).
-    std::vector<std::uint8_t> degraded(config_.frames, 0);
-    const auto mark_dropped_range = [&](std::uint64_t first, std::uint64_t last) {
-        // Records in [first, last) were lost; mark their frames.
-        report.records_dropped += last - first;
-        if (tel_on) c_rec_dropped.add(static_cast<std::int64_t>(last - first));
-        for (std::uint64_t f = first / records_per_frame;
-             f <= (last - 1) / records_per_frame; ++f)
-            degraded[static_cast<std::size_t>(f)] = 1;
-    };
 
     // Frame-completion telemetry mark. Whichever thread finishes decodes
     // owns one instance (the consumer synchronously, the decode worker in
@@ -456,85 +214,45 @@ HybridReport HybridPipeline::run() {
 
     // Backend-agnostic consumer: `accumulate` folds one record in,
     // `close_frame(index, more_frames)` finishes the frame currently being
-    // assembled. Frames are closed by watching the sequence tags, so frames
-    // whose trailing records were dropped still close (as degraded frames).
-    // The consumer samples ring occupancy as it pops — the reading the
-    // paper's backpressure argument cares about.
+    // assembled. The protocol body (consume_stream) lives in
+    // pipeline/stream_link.hpp, shared with the fleet runner; the hooks
+    // sample ring occupancy as it pops — the reading the paper's
+    // backpressure argument cares about.
     bool stream_done = false;  // consumer saw the end sentinel
     const auto consume = [&](auto&& accumulate, auto&& close_frame) {
-        std::uint64_t next_seq = 0;       // next record index expected
-        std::uint64_t frames_closed = 0;  // frames finished so far
-        const auto close_through = [&](std::uint64_t frame_limit) {
-            while (frames_closed < frame_limit) {
-                close_frame(static_cast<std::size_t>(frames_closed),
-                            frames_closed < config_.frames - 1);
-                ++report.frames;
-                if (degraded[static_cast<std::size_t>(frames_closed)] != 0) {
-                    ++report.frames_degraded;
-                    if (tel_on) c_frames_degraded.increment();
-                }
-                ++frames_closed;
-            }
-        };
-        // Batch pop: drain up to consume_cap blocks per protocol round
-        // trip; the per-block bookkeeping below is unchanged.
-        std::vector<Block> popped(consume_cap);
-        bool saw_end = false;
-        while (!saw_end) {
-            std::size_t got = ring.pop_batch(std::span(popped));
-            if (got == 0) {
-                WallTimer idle;
-                while ((got = ring.pop_batch(std::span(popped))) == 0)
-                    std::this_thread::yield();
-                const double idled = idle.seconds();
-                report.consumer_idle_seconds += idled;
-                if (tel_on) {
-                    c_idles.increment();
-                    h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
-                }
-            }
-            if (tel_on) {
-                const auto depth = static_cast<std::int64_t>(ring.size());
-                g_ring.set(depth);
-                h_ring.observe(static_cast<std::uint64_t>(depth));
-                h_batch.observe(got);
-            }
-            for (std::size_t b = 0; b < got; ++b) {
-                const Block& block = popped[b];
-                if (block.end) {
-                    // The sentinel is the stream's last block by
-                    // construction; nothing follows it in this batch.
-                    stream_done = true;
-                    saw_end = true;
-                    break;
-                }
-                if (block.seq > next_seq) mark_dropped_range(next_seq, block.seq);
-                next_seq = block.seq + 1;
-                close_through(block.seq / records_per_frame);
-
-                // kDropOldest credits: this record is the oldest still
-                // queued — discard it (counts as dropped, degrades its
-                // frame).
-                std::uint64_t credits =
-                    drop_credits.load(std::memory_order_acquire);
-                bool discard = false;
-                while (credits > 0) {
-                    if (drop_credits.compare_exchange_weak(
-                            credits, credits - 1, std::memory_order_acq_rel)) {
-                        discard = true;
-                        break;
+        const ConsumeTotals totals = consume_stream(
+            ring, link, drop_credits, stream_done,
+            std::forward<decltype(accumulate)>(accumulate),
+            std::forward<decltype(close_frame)>(close_frame),
+            ConsumerHooks{
+                [&](double idled) {
+                    report.consumer_idle_seconds += idled;
+                    if (tel_on) {
+                        c_idles.increment();
+                        h_idle.observe(static_cast<std::uint64_t>(idled * 1e9));
                     }
-                }
-                if (discard) {
-                    mark_dropped_range(block.seq, block.seq + 1);
-                    continue;
-                }
-                if (tel_on) c_records.increment();
-                accumulate(block);
-            }
-        }
-        if (next_seq < records_total) mark_dropped_range(next_seq, records_total);
-        close_through(config_.frames);
+                },
+                [&](std::size_t got) {
+                    if (tel_on) {
+                        const auto depth = static_cast<std::int64_t>(ring.size());
+                        g_ring.set(depth);
+                        h_ring.observe(static_cast<std::uint64_t>(depth));
+                        h_batch.observe(got);
+                    }
+                },
+                [&] {
+                    if (tel_on) c_records.increment();
+                },
+                [&](std::uint64_t n) {
+                    if (tel_on) c_rec_dropped.add(static_cast<std::int64_t>(n));
+                },
+                [&] {
+                    if (tel_on) c_frames_degraded.increment();
+                },
+            });
+        report.frames += totals.frames_closed;
+        report.records_dropped += totals.records_dropped;
+        report.frames_degraded += totals.frames_degraded;
     };
 
     // Any consumer-side failure must still join the producer before it

@@ -33,6 +33,7 @@
 #include <limits>
 
 #include "common/atomics_policy.hpp"
+#include "common/contracts.hpp"
 
 namespace htims::pipeline {
 
@@ -40,6 +41,16 @@ namespace htims::pipeline {
 /// any number of threads may wait, one waiter per index, and each index is
 /// advanced exactly once (by the thread that emitted it). abort() may be
 /// called by any thread, more than once.
+///
+/// One turnstile serves ONE stream: the dense-from-0 contract means frame
+/// indices of different streams must never share an instance (stream B's
+/// frame 0 would wait forever behind stream A's). The fleet layer
+/// (pipeline/fleet.cpp) therefore keeps one turnstile per stream, and
+/// workers from the shared decode pool route each job to its stream's
+/// instance; wait_turn detects the misrouting signature (a turn that has
+/// already passed, which would otherwise dead-block the waiter) with a
+/// debug check. The litmus unit `turnstile_per_stream_independence` pins
+/// that two instances on a shared pool never cross-release.
 template <typename Atomics = common::StdAtomics>
 class OrderTurnstile {
 public:
@@ -54,6 +65,13 @@ public:
         std::size_t cur = next_.load(Atomics::turnstile_observe);
         while (cur != index) {
             if (cur >= kAbortFloor) return false;
+            // A turn that already passed can never come again: either two
+            // waiters claimed the same index, or a job from another stream
+            // was routed to this turnstile (each stream must own its own
+            // instance — see the class comment).
+            HTIMS_DCHECK(cur < index,
+                         "turn already passed: duplicate index or a job "
+                         "misrouted across streams");
             next_.wait(cur, Atomics::turnstile_observe);
             cur = next_.load(Atomics::turnstile_observe);
         }

@@ -147,7 +147,10 @@ TEST(ModelEngine, AtomicWaitWakesOnValueChange) {
 TEST(ModelLitmus, HealthyProtocolsPass) {
     for (const auto& unit : hc::litmus_units()) {
         SCOPED_TRACE(unit.name);
-        const auto result = hc::check(bounded_options(), unit.healthy);
+        auto opt = bounded_options();
+        opt.preemption_bound = hc::litmus_effective_bound(
+            opt.preemption_bound, unit.preemption_cap);
+        const auto result = hc::check(opt, unit.healthy);
         EXPECT_TRUE(result.ok) << unit.name << ": " << result.failure;
         EXPECT_TRUE(result.complete) << unit.name << ": exploration hit a cap";
         EXPECT_GT(result.executions, 1u) << unit.name;
@@ -158,7 +161,10 @@ TEST(ModelLitmus, SeededMutantsAreCaught) {
     for (const auto& unit : hc::litmus_units()) {
         if (!unit.mutated) continue;
         SCOPED_TRACE(unit.name + " / " + unit.mutant);
-        const auto result = hc::check(bounded_options(), unit.mutated);
+        auto opt = bounded_options();
+        opt.preemption_bound = hc::litmus_effective_bound(
+            opt.preemption_bound, unit.preemption_cap);
+        const auto result = hc::check(opt, unit.mutated);
         EXPECT_FALSE(result.ok)
             << "mutant " << unit.mutant << " was NOT caught by " << unit.name;
         EXPECT_FALSE(result.failure.empty());
