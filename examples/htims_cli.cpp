@@ -12,9 +12,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/library.hpp"
+#include "analysis/stage.hpp"
 #include "core/htims.hpp"
 #include "pipeline/fleet.hpp"
 #include "store/frame_store.hpp"
@@ -59,6 +62,12 @@ void usage() {
         "                        starting from --backend\n"
         "  --fleet-json PATH     write the fleet report (per-stream and\n"
         "                        aggregate p99 frame latency) as JSON\n"
+        "  --analyze[=D]         run the hyperdimensional analysis stage on\n"
+        "                        the decoded output: encode spectra as D-bit\n"
+        "                        hypervectors (default 4096), identify them\n"
+        "                        against a mixture-derived reference library,\n"
+        "                        and cluster online; fleet streams (--fleet)\n"
+        "                        share the stage\n"
         "  --save PATH           write the deconvolved frame (binary)\n"
         "  --csv                 print the feature table as CSV\n"
         "  --telemetry           print the telemetry report after the run\n"
@@ -82,6 +91,8 @@ int main(int argc, char** argv) {
     bool csv = false;
     bool telemetry = false;
     bool overlap = false;
+    bool analyze = false;
+    std::size_t analyze_dim = 4096;
     std::size_t decode_workers = pipeline::HybridConfig{}.decode_workers;
     std::size_t batch_records = pipeline::HybridConfig{}.batch_records;
 
@@ -131,6 +142,11 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--overlap") {
             overlap = true;
+        } else if (arg == "--analyze" || arg.rfind("--analyze=", 0) == 0) {
+            analyze = true;
+            if (arg != "--analyze")
+                analyze_dim = static_cast<std::size_t>(std::atoll(
+                    arg.substr(std::string("--analyze=").size()).c_str()));
         } else if (arg == "--decode-workers") {
             decode_workers = static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (arg == "--batch") {
@@ -228,6 +244,31 @@ int main(int argc, char** argv) {
             table.print(std::cout);
         std::cout << features.size() << " features total\n";
 
+        // The analysis stage outlives every pipeline run below — fleet
+        // streams hold raw pointers to it via HybridConfig::analysis.
+        std::unique_ptr<analysis::AnalysisStage> stage;
+        std::unique_ptr<analysis::SpectralLibrary> library;
+        if (analyze) {
+            analysis::AnalysisConfig acfg;
+            acfg.encoder.dim = analyze_dim;
+            acfg.encoder.mz_bins = run.deconvolved.mz_bins();
+            acfg.encoder.seed = cfg.acquisition.seed;
+            stage = std::make_unique<analysis::AnalysisStage>(acfg);
+            library = std::make_unique<analysis::SpectralLibrary>(
+                stage->encoder(), mixture);
+            stage->set_library(library.get());
+            const auto verdict = stage->analyze(0, 0, run.deconvolved);
+            std::cout << "analysis: D=" << analyze_dim << " (simd "
+                      << simd_tier_name(simd_tier()) << "), nearest \""
+                      << library->name(verdict.library_entry) << "\" at "
+                      << verdict.library_distance << " bits ("
+                      << format_double(
+                             100.0 * static_cast<double>(verdict.library_distance) /
+                                 static_cast<double>(analyze_dim),
+                             1)
+                      << "% of D)\n";
+        }
+
         if (overlap) {
             // Stream the acquired frame through the hybrid pipeline twice —
             // decode inline on the consumer, then overlapped on a worker —
@@ -298,6 +339,7 @@ int main(int argc, char** argv) {
                 hcfg.cpu_threads = 1;
                 hcfg.fpga = cfg.fpga;
                 hcfg.batch_records = batch_records;
+                hcfg.analysis = stage.get();  // nullptr unless --analyze
                 streams.push_back(pipeline::FleetStream{
                     simulator.engine().sequence(), simulator.layout(), hcfg,
                     period, nullptr});
@@ -325,6 +367,13 @@ int main(int argc, char** argv) {
                                  static_cast<double>(s.frame_latency.p99) / 1e6,
                                  2)
                           << " ms\n";
+            }
+            if (stage) {
+                const auto report = stage->report();
+                std::cout << "analysis: " << report.frames
+                          << " frames analyzed across the fleet, "
+                          << report.clusters << " cluster(s), digest "
+                          << stage->digest() << "\n";
             }
             if (!fleet_json_path.empty()) {
                 std::ofstream out(fleet_json_path);

@@ -45,15 +45,18 @@
 #             asserting zero contract aborts, exact injected-vs-recovered
 #             accounting, and seed-reproducible counts across two runs.
 #   bench     bench-smoke gate in build-check/: build the bench targets,
-#             then run bench_kernels with a tiny min_time and bench_e16_fleet
-#             --tiny (telemetry off so no JSON reports land in the tree).
-#             Fails on a crash/nonzero exit or on a "REGRESSION" marker in
-#             the output — bench_kernels prints one when a headline speedup
-#             (batch ring transport vs per-record) drops below 1.0, and
-#             bench_e16_fleet prints one when the 4-stream paced aggregate
-#             falls below 2x the single-stream rate. Not a perf gate — the
-#             numbers are smoke-level — but it keeps every bench compiling
-#             and catches protocol-level throughput inversions.
+#             then run bench_kernels with a tiny min_time, bench_e16_fleet
+#             --tiny, and bench_e19_hdsearch --tiny (telemetry off so no
+#             JSON reports land in the tree). Fails on a crash/nonzero exit
+#             or on a "REGRESSION" marker in the output — bench_kernels
+#             prints one when a headline speedup (batch ring transport vs
+#             per-record) drops below 1.0, bench_e16_fleet when the
+#             4-stream paced aggregate falls below 2x the single-stream
+#             rate, and bench_e19_hdsearch when the SIMD Hamming kernel
+#             loses its 4x margin over the scalar oracle or NN recall at
+#             D=4096 drops below 0.95. Not a perf gate — the numbers are
+#             smoke-level — but it keeps every bench compiling and catches
+#             protocol-level throughput inversions.
 #
 # Build trees are persistent (build-check/, build-asan/, build-tsan/,
 # build-lint/), so repeat runs share configure caches and only recompile
@@ -234,10 +237,13 @@ if [[ "$run_bench" == 1 ]]; then
     if ensure_check_tree &&
         cmake --build build-check -j "$jobs" \
             --target bench_kernels bench_e3_throughput bench_e4_scaling \
-                     bench_e16_fleet bench_e17_replay > /dev/null &&
+                     bench_e16_fleet bench_e17_replay bench_e19_hdsearch \
+            > /dev/null &&
         HTIMS_TELEMETRY=0 build-check/bench/bench_kernels \
             --benchmark_min_time=0.01 | tee "$bench_log" &&
         HTIMS_TELEMETRY=0 build-check/bench/bench_e16_fleet --tiny \
+            | tee -a "$bench_log" &&
+        HTIMS_TELEMETRY=0 build-check/bench/bench_e19_hdsearch --tiny \
             | tee -a "$bench_log" &&
         ! grep -q '^REGRESSION' "$bench_log"; then
         stage bench PASS

@@ -6,10 +6,14 @@
 #   werror     configure build-lint/ with -DHTIMS_WERROR=ON and build the
 #              world: the library must be -Wall -Wextra -Wshadow
 #              -Wconversion -Wsign-conversion clean, promoted to errors.
+#              Every directory that compiles into the htims target rides
+#              this strict tier — including src/analysis/ (the HD stage)
+#              and the SIMD kernels in src/common/.
 #   tidy       clang-tidy over the compile database build-lint/ exports,
-#              covering src/, bench/, and examples/. SKIPped (not failed)
-#              when clang-tidy is not installed — the werror and rules
-#              stages still gate the commit.
+#              covering all of src/ (src/analysis/ included), bench/, and
+#              examples/. SKIPped (not failed) when clang-tidy is not
+#              installed — the werror and rules stages still gate the
+#              commit.
 #   rules      repo-specific greps that no general tool enforces:
 #                * no raw `new`/`delete` outside src/common/ — ownership
 #                  lives in containers and the aligned-buffer allocator;

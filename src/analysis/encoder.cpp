@@ -1,0 +1,115 @@
+#include "analysis/encoder.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pipeline/frame.hpp"
+
+namespace htims::analysis {
+
+namespace {
+
+Hypervector random_hypervector(std::size_t dim, Rng& rng) {
+    Hypervector hv(dim);
+    for (std::size_t w = 0; w < hv.word_count(); ++w) hv.data()[w] = rng.next_u64();
+    return hv;
+}
+
+}  // namespace
+
+SpectrumEncoder::SpectrumEncoder(const SpectrumEncoderConfig& config)
+    : config_(config) {
+    if (config.dim == 0 || config.dim % 64 != 0)
+        throw ConfigError("encoder dim must be a positive multiple of 64");
+    if (config.mz_bins == 0) throw ConfigError("encoder mz_bins must be > 0");
+    if (config.levels < 2) throw ConfigError("encoder needs at least 2 levels");
+    if (config.top_peaks == 0) throw ConfigError("encoder top_peaks must be > 0");
+
+    Rng rng(config.seed);
+    id_.reserve(config.mz_bins);
+    for (std::size_t i = 0; i < config.mz_bins; ++i)
+        id_.push_back(random_hypervector(config.dim, rng));
+
+    // Level ladder: rung 0 is random; each higher rung flips the next slice
+    // of a fixed random permutation of the bit positions, spending D/2 flips
+    // across the whole ladder. Distance between rungs is then proportional
+    // to their index gap, and rung 0 vs the top rung is D/2 — as far apart
+    // as two independent random vectors.
+    std::vector<std::size_t> perm(config.dim);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (std::size_t i = config.dim - 1; i > 0; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i + 1)));
+        std::swap(perm[i], perm[j]);
+    }
+    level_.reserve(config.levels);
+    level_.push_back(random_hypervector(config.dim, rng));
+    const std::size_t flips_total = config.dim / 2;
+    for (std::size_t l = 1; l < config.levels; ++l) {
+        Hypervector rung = level_.back();
+        const std::size_t from = flips_total * (l - 1) / (config.levels - 1);
+        const std::size_t to = flips_total * l / (config.levels - 1);
+        for (std::size_t f = from; f < to; ++f) rung.flip(perm[f]);
+        level_.push_back(std::move(rung));
+    }
+
+    tiebreak_ = random_hypervector(config.dim, rng);
+}
+
+Hypervector SpectrumEncoder::encode(std::span<const double> spectrum) const {
+    HTIMS_EXPECTS(spectrum.size() == config_.mz_bins);
+
+    // Top peaks by intensity, index as a deterministic tiebreak.
+    std::vector<std::size_t> peaks;
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+        if (spectrum[i] > 0.0) peaks.push_back(i);
+    if (peaks.empty()) return Hypervector(config_.dim);
+    std::sort(peaks.begin(), peaks.end(), [&](std::size_t a, std::size_t b) {
+        if (spectrum[a] != spectrum[b]) return spectrum[a] > spectrum[b];
+        return a < b;
+    });
+    if (peaks.size() > config_.top_peaks) peaks.resize(config_.top_peaks);
+
+    // Bind each peak (ID XOR level) and bundle with a per-bit majority vote.
+    const double maxv = spectrum[peaks.front()];
+    std::vector<std::uint16_t> votes(config_.dim, 0);
+    for (const std::size_t bin : peaks) {
+        const double rel = spectrum[bin] / maxv;
+        const auto rung = std::min<std::size_t>(
+            static_cast<std::size_t>(rel * static_cast<double>(config_.levels - 1) + 0.5),
+            config_.levels - 1);
+        const Hypervector& id = id_[bin];
+        const Hypervector& lvl = level_[rung];
+        for (std::size_t w = 0; w < id.word_count(); ++w) {
+            std::uint64_t bound = id.data()[w] ^ lvl.data()[w];
+            while (bound != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(bound));
+                ++votes[w * 64 + bit];
+                bound &= bound - 1;
+            }
+        }
+    }
+
+    const std::size_t n = peaks.size();
+    Hypervector out(config_.dim);
+    for (std::size_t bit = 0; bit < config_.dim; ++bit) {
+        const std::size_t v = 2 * static_cast<std::size_t>(votes[bit]);
+        if (v > n || (v == n && tiebreak_.test(bit))) out.set(bit);
+    }
+    return out;
+}
+
+std::vector<double> mz_intensity_profile(const pipeline::Frame& frame) {
+    std::vector<double> profile(frame.mz_bins(), 0.0);
+    for (std::size_t d = 0; d < frame.drift_bins(); ++d) {
+        const auto row = frame.record(d);
+        for (std::size_t mz = 0; mz < profile.size(); ++mz)
+            if (row[mz] > 0.0) profile[mz] += row[mz];
+    }
+    return profile;
+}
+
+}  // namespace htims::analysis

@@ -1,0 +1,64 @@
+// hypervector.hpp — packed binary hypervector for the HD analysis stage.
+//
+// A hypervector is a D-bit binary vector (D in the thousands) stored as
+// D/64 packed uint64 words. The hyperdimensional encoding scheme
+// (src/analysis/encoder.hpp) represents spectra as such vectors; all
+// similarity queries reduce to Hamming distance, served by the dispatched
+// XOR-popcount kernel in common/simd.hpp. D is restricted to multiples of
+// 64 so no partial-word masking is ever needed — every kernel tier then
+// operates on whole words only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+
+namespace htims::analysis {
+
+/// D-bit binary vector, bit i stored at words()[i / 64] bit (i % 64).
+class Hypervector {
+public:
+    Hypervector() = default;
+
+    /// All-zero vector of `bits` bits; `bits` must be a positive multiple
+    /// of 64 (whole packed words — see file comment).
+    explicit Hypervector(std::size_t bits)
+        : bits_(bits), words_(bits / 64, 0) {
+        HTIMS_EXPECTS(bits > 0 && bits % 64 == 0);
+    }
+
+    std::size_t bits() const { return bits_; }
+    std::size_t word_count() const { return words_.size(); }
+    const std::uint64_t* data() const { return words_.data(); }
+    std::uint64_t* data() { return words_.data(); }
+
+    bool test(std::size_t bit) const {
+        return ((words_[bit / 64] >> (bit % 64)) & 1u) != 0;
+    }
+    void set(std::size_t bit) { words_[bit / 64] |= std::uint64_t{1} << (bit % 64); }
+    void flip(std::size_t bit) { words_[bit / 64] ^= std::uint64_t{1} << (bit % 64); }
+
+    /// Elementwise XOR (the binding operator of the HD algebra).
+    Hypervector& operator^=(const Hypervector& other) {
+        HTIMS_EXPECTS(bits_ == other.bits_);
+        for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+        return *this;
+    }
+
+    bool operator==(const Hypervector& other) const = default;
+
+private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/// Hamming distance in bits, via the runtime-dispatched popcount kernel.
+inline std::uint64_t distance(const Hypervector& a, const Hypervector& b) {
+    HTIMS_EXPECTS(a.bits() == b.bits());
+    return hamming_distance(a.data(), b.data(), a.word_count());
+}
+
+}  // namespace htims::analysis

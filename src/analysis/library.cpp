@@ -1,0 +1,59 @@
+#include "analysis/library.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace htims::analysis {
+
+SpectralLibrary::SpectralLibrary(const SpectrumEncoder& encoder,
+                                 const instrument::SampleMixture& mixture,
+                                 const SpectralLibraryConfig& config)
+    : config_(config), mz_bins_(encoder.config().mz_bins),
+      species_(mixture.species) {
+    HTIMS_EXPECTS(config.max_mz > config.min_mz);
+    names_.reserve(species_.size());
+    entries_.reserve(species_.size());
+    for (std::size_t i = 0; i < species_.size(); ++i) {
+        names_.push_back(species_[i].name);
+        entries_.push_back(encoder.encode(reference_spectrum(i)));
+    }
+}
+
+std::vector<double> SpectralLibrary::reference_spectrum(std::size_t i) const {
+    HTIMS_EXPECTS(i < species_.size());
+    const instrument::IonSpecies& sp = species_[i];
+    std::vector<double> spectrum(mz_bins_, 0.0);
+
+    const double span = config_.max_mz - config_.min_mz;
+    const double frac = (sp.mz - config_.min_mz) / span;
+    const auto main_bin = static_cast<std::size_t>(std::clamp(
+        frac * static_cast<double>(mz_bins_ - 1), 0.0,
+        static_cast<double>(mz_bins_ - 1)));
+    spectrum[main_bin] += sp.intensity;
+
+    // Pseudo-fragments: deterministic per species, decoupled across species
+    // by folding the index into the seed so neighbouring entries share no
+    // fragment pattern.
+    Rng rng(config_.seed ^
+            (static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL));
+    for (std::size_t f = 0; f < config_.fragment_peaks; ++f) {
+        const auto bin = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(mz_bins_)));
+        spectrum[bin] += sp.intensity * (0.2 + 0.8 * rng.uniform());
+    }
+    return spectrum;
+}
+
+Match SpectralLibrary::nearest(const Hypervector& query) const {
+    HTIMS_EXPECTS(!entries_.empty());
+    Match best{0, distance(entries_[0], query)};
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const std::uint64_t d = distance(entries_[i], query);
+        if (d < best.distance) best = Match{i, d};
+    }
+    return best;
+}
+
+}  // namespace htims::analysis

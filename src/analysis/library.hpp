@@ -1,0 +1,72 @@
+// library.hpp — hypervector reference library derived from a sample mixture.
+//
+// The screening workflow needs something to identify spectra *against*: for
+// each species in a mixture (e.g. the seeded tryptic peptide digest), we
+// synthesize a reference fragmentation spectrum — main peak at the species'
+// m/z plus a deterministic set of pseudo-fragment peaks — encode it, and
+// keep the hypervector. Identification is then a nearest-neighbour Hamming
+// scan over the entries, which the E19 bench drives at rate.
+//
+// The reference spectra are derived purely from (species index, seed), so a
+// bench can regenerate reference_spectrum(i), perturb it, and measure
+// recall against ground truth i.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/encoder.hpp"
+#include "analysis/hypervector.hpp"
+#include "instrument/ion.hpp"
+
+namespace htims::analysis {
+
+/// Reference-spectrum synthesis parameters.
+struct SpectralLibraryConfig {
+    double min_mz = 200.0;           ///< m/z mapped to bin 0
+    double max_mz = 2000.0;          ///< m/z mapped to the last bin
+    std::size_t fragment_peaks = 12; ///< pseudo-fragments per species
+    std::uint64_t seed = 7;          ///< fragment placement seed
+};
+
+/// One nearest-neighbour query result.
+struct Match {
+    std::size_t index = 0;        ///< library entry (== species index)
+    std::uint64_t distance = 0;   ///< Hamming distance in bits
+};
+
+/// Encoded reference library; immutable after construction, safe to share
+/// read-only across threads.
+class SpectralLibrary {
+public:
+    /// Builds one entry per mixture species using `encoder` (whose mz_bins
+    /// determines the spectrum length). The encoder must outlive queries
+    /// only through its output — the library stores no reference to it.
+    SpectralLibrary(const SpectrumEncoder& encoder,
+                    const instrument::SampleMixture& mixture,
+                    const SpectralLibraryConfig& config = {});
+
+    std::size_t size() const { return entries_.size(); }
+    const std::string& name(std::size_t i) const { return names_[i]; }
+    const Hypervector& entry(std::size_t i) const { return entries_[i]; }
+
+    /// Linear Hamming scan; ties resolve to the lowest index. The library
+    /// must be non-empty.
+    Match nearest(const Hypervector& query) const;
+
+    /// Regenerate the synthetic reference spectrum of entry i (the exact
+    /// input its hypervector was encoded from) — for benches that perturb
+    /// references into queries with known ground truth.
+    std::vector<double> reference_spectrum(std::size_t i) const;
+
+private:
+    SpectralLibraryConfig config_;
+    std::size_t mz_bins_ = 0;
+    std::vector<instrument::IonSpecies> species_;
+    std::vector<std::string> names_;
+    std::vector<Hypervector> entries_;
+};
+
+}  // namespace htims::analysis

@@ -1,0 +1,210 @@
+// hamming.cpp — runtime-dispatched XOR-popcount (Hamming distance) kernels.
+//
+// The hyperdimensional analysis stage compares D-bit binary hypervectors
+// (D/64 packed words) millions of times per screening run; the whole search
+// is one XOR-popcount reduction per candidate. The kernels below follow
+// fwht_batch.cpp's dispatch idiom: explicit AVX2 / AVX-512 / NEON variants
+// behind one function pointer selected per process from common/simd.hpp's
+// detected tier, plus a portable std::popcount kernel and a deliberately
+// de-vectorized SWAR oracle.
+//
+// Every tier computes the exact same integer — popcount has no rounding —
+// so cross-tier parity is structural, not coincidental. The AVX-512 variant
+// needs the VPOPCNTQ extension (avx512vpopcntdq), which the repo's kAvx512
+// tier (f/dq/vl) does not imply; hosts without it run that tier through the
+// AVX2 nibble-LUT kernel.
+#include "common/simd.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HTIMS_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define HTIMS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace htims {
+
+namespace {
+
+using HammingKernel = std::uint64_t (*)(const std::uint64_t*,
+                                        const std::uint64_t*, std::size_t);
+
+// Portable kernel: std::popcount lowers to the hardware POPCNT instruction
+// where available. Unrolled x4 so the loads pipeline.
+std::uint64_t hamming_generic(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t words) {
+    std::uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= words; i += 4) {
+        t0 += static_cast<std::uint64_t>(std::popcount(a[i + 0] ^ b[i + 0]));
+        t1 += static_cast<std::uint64_t>(std::popcount(a[i + 1] ^ b[i + 1]));
+        t2 += static_cast<std::uint64_t>(std::popcount(a[i + 2] ^ b[i + 2]));
+        t3 += static_cast<std::uint64_t>(std::popcount(a[i + 3] ^ b[i + 3]));
+    }
+    for (; i < words; ++i)
+        t0 += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+    return t0 + t1 + t2 + t3;
+}
+
+#if HTIMS_SIMD_X86
+
+// Mula's nibble-LUT popcount: pshufb maps each 4-bit half-byte to its bit
+// count, psadbw horizontally sums the 32 byte counts into four u64 lanes.
+__attribute__((target("avx2"))) std::uint64_t hamming_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                         0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= words; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const __m256i x = _mm256_xor_si256(va, vb);
+        const __m256i lo = _mm256_and_si256(x, low_mask);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(x, 4), low_mask);
+        const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                               _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(counts, _mm256_setzero_si256()));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < words; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+    return total;
+}
+
+// Native 64-bit vector popcount: one VPOPCNTQ per eight words.
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t
+hamming_avx512(const std::uint64_t* a, const std::uint64_t* b,
+               std::size_t words) {
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 8 <= words; i += 8) {
+        const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                           _mm512_loadu_si512(b + i));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+    }
+    // Not _mm512_reduce_add_epi64: its GCC expansion goes through
+    // _mm256_undefined_si256(), which -Werror=uninitialized rejects.
+    alignas(64) std::uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    std::uint64_t total = 0;
+    for (const std::uint64_t lane : lanes) total += lane;
+    for (; i < words; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+    return total;
+}
+
+#endif  // HTIMS_SIMD_X86
+
+#if HTIMS_SIMD_NEON
+
+// vcnt counts per byte; the widening pairwise-add ladder folds 16 byte
+// counts into two u64 lanes without leaving the register file.
+std::uint64_t hamming_neon(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) {
+    uint64x2_t acc = vdupq_n_u64(0);
+    std::size_t i = 0;
+    for (; i + 2 <= words; i += 2) {
+        const uint8x16_t x =
+            veorq_u8(vreinterpretq_u8_u64(vld1q_u64(a + i)),
+                     vreinterpretq_u8_u64(vld1q_u64(b + i)));
+        acc = vaddq_u64(
+            acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(x)))));
+    }
+    std::uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; i < words; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+    return total;
+}
+
+#endif  // HTIMS_SIMD_NEON
+
+HammingKernel kernel_for(SimdTier tier) {
+    switch (tier) {
+#if HTIMS_SIMD_X86
+        case SimdTier::kAvx512:
+            // The repo's kAvx512 tier is f/dq/vl; VPOPCNTQ ships separately
+            // (Ice Lake+). Without it the AVX2 LUT kernel is the best fit.
+            if (__builtin_cpu_supports("avx512vpopcntdq"))
+                return hamming_avx512;
+            return hamming_avx2;
+        case SimdTier::kAvx2:
+            return hamming_avx2;
+#endif
+#if HTIMS_SIMD_NEON
+        case SimdTier::kNeon:
+            return hamming_neon;
+#endif
+        default:
+            return hamming_generic;
+    }
+}
+
+}  // namespace
+
+std::uint64_t hamming_distance(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t words) {
+    static const HammingKernel kernel = kernel_for(simd_tier());
+    return kernel(a, b, words);
+}
+
+// SWAR popcount (no POPCNT instruction, no vector unit): the reference the
+// kernels above are measured against. GCC would happily auto-vectorize this
+// loop at -O2, which would make the "scalar" baseline a vector kernel in
+// disguise — hence the per-function opt-out.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize")))
+#endif
+std::uint64_t
+hamming_distance_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+        std::uint64_t v = a[i] ^ b[i];
+        v -= (v >> 1) & 0x5555555555555555ULL;
+        v = (v & 0x3333333333333333ULL) + ((v >> 2) & 0x3333333333333333ULL);
+        v = (v + (v >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+        total += (v * 0x0101010101010101ULL) >> 56;
+    }
+    return total;
+}
+
+std::optional<std::uint64_t> hamming_distance_at_tier(SimdTier tier,
+                                                      const std::uint64_t* a,
+                                                      const std::uint64_t* b,
+                                                      std::size_t words) {
+    switch (tier) {
+        case SimdTier::kGeneric:
+            return hamming_generic(a, b, words);
+#if HTIMS_SIMD_X86
+        case SimdTier::kAvx2:
+            if (!__builtin_cpu_supports("avx2")) return std::nullopt;
+            return hamming_avx2(a, b, words);
+        case SimdTier::kAvx512:
+            if (!__builtin_cpu_supports("avx512f") ||
+                !__builtin_cpu_supports("avx512vpopcntdq"))
+                return std::nullopt;
+            return hamming_avx512(a, b, words);
+#endif
+#if HTIMS_SIMD_NEON
+        case SimdTier::kNeon:
+            return hamming_neon(a, b, words);
+#endif
+        default:
+            return std::nullopt;
+    }
+}
+
+}  // namespace htims

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 
 namespace htims {
 
@@ -39,5 +41,33 @@ std::size_t simd_register_lanes(SimdTier tier);
 /// 8 under AVX-512, otherwise 4 (two NEON registers / one AVX2 register /
 /// a comfortably unrollable width for the portable kernel).
 std::size_t batch_lanes();
+
+/// XOR-popcount (Hamming) distance between two `words`-long packed bit
+/// vectors — the inner loop of the hyperdimensional analysis stage
+/// (src/analysis/). Dispatched once per process through the same
+/// function-pointer-table idiom as the batched FWHT: generic
+/// (std::popcount), AVX2 (pshufb nibble LUT + psadbw), AVX-512
+/// (VPOPCNTQ when the CPU has avx512vpopcntdq, else the AVX2 kernel), NEON
+/// (vcnt + pairwise widening adds). Every tier computes the exact integer
+/// count, so results are bit-identical across tiers by construction — the
+/// parity tests in tests/test_analysis_hd.cpp pin that.
+std::uint64_t hamming_distance(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t words);
+
+/// Scalar oracle: SWAR popcount with auto-vectorization disabled, so it
+/// stays an honest one-word-at-a-time baseline for the kernel benches and
+/// the tier-parity tests even at -O2/-march=native.
+std::uint64_t hamming_distance_scalar(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      std::size_t words);
+
+/// The Hamming kernel of one specific tier, for parity tests and A/B
+/// benches. Returns nullopt when the host cannot execute `tier` (wrong
+/// architecture family, or AVX-512 requested without avx512vpopcntdq —
+/// partial-AVX-512 hosts run that tier through the AVX2 kernel instead).
+std::optional<std::uint64_t> hamming_distance_at_tier(SimdTier tier,
+                                                      const std::uint64_t* a,
+                                                      const std::uint64_t* b,
+                                                      std::size_t words);
 
 }  // namespace htims

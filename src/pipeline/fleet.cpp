@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/stage.hpp"
 #include "common/aligned_buffer.hpp"
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -453,6 +454,9 @@ FleetReport FleetRunner::run() {
                         if (fpga_report != nullptr) st.fpga = *fpga_report;
                         if (cfg.frame_sink)
                             cfg.frame_sink(job->index, decoded);
+                        if (cfg.analysis)
+                            cfg.analysis->analyze(job->stream, job->index,
+                                                  decoded);
                         st.last_frame = std::move(decoded);
                         const std::uint64_t now = telemetry::now_ns();
                         const std::uint64_t lat = now - job->dispatch_ns;

@@ -259,6 +259,11 @@ Frame FpgaPipeline::finalize_frame(const FpgaCapture& capture) {
     report.cycle_budget = static_cast<std::uint64_t>(
         periods * layout_.period_s() * config_.clock_hz);
     report_ = report;
+    // Whole-run accounting for sustained_sample_rate(): frames differ (a
+    // budget overrun decodes fewer channels), so the sustained figure must
+    // average deconv cycles over every finalized frame, not quote the last.
+    total_deconv_cycles_ += report.deconv_cycles;
+    ++frames_finalized_;
 
     static auto& c_frames = tel.counter("fpga.frames");
     static auto& c_capture = tel.counter("fpga.capture_cycles");
@@ -276,12 +281,22 @@ Frame FpgaPipeline::finalize_frame(const FpgaCapture& capture) {
 }
 
 double FpgaPipeline::sustained_sample_rate(std::size_t averages) const {
-    const std::uint64_t samples =
+    const std::uint64_t per_frame =
         static_cast<std::uint64_t>(averages) * layout_.cells();
-    const std::uint64_t capture =
-        (samples + static_cast<std::uint64_t>(config_.samples_per_cycle) - 1) /
+    const std::uint64_t capture_per_frame =
+        (per_frame + static_cast<std::uint64_t>(config_.samples_per_cycle) - 1) /
         static_cast<std::uint64_t>(config_.samples_per_cycle);
-    const std::uint64_t total = capture + report_.deconv_cycles;
+    // The capture term covers `averages` periods of EVERY frame, so the
+    // deconv term must cover the same frames. Quoting only the last frame's
+    // report_.deconv_cycles overstated the sustained rate whenever an
+    // earlier frame decoded more channels (e.g. the run ended on a
+    // budget-overrun partial frame). With homogeneous frames the per-frame
+    // terms cancel and the figure is unchanged.
+    const std::uint64_t frames = std::max<std::uint64_t>(frames_finalized_, 1);
+    const std::uint64_t deconv =
+        frames_finalized_ > 0 ? total_deconv_cycles_ : report_.deconv_cycles;
+    const std::uint64_t samples = per_frame * frames;
+    const std::uint64_t total = capture_per_frame * frames + deconv;
     if (total == 0) return 0.0;
     return static_cast<double>(samples) * config_.clock_hz / static_cast<double>(total);
 }

@@ -138,8 +138,11 @@ public:
     /// carried in the FpgaCapture to finalize. Pass nullptr to detach.
     void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
 
-    /// Samples/second the model sustains at the configured clock, for a
-    /// frame of this layout processed `averages` periods per frame.
+    /// Samples/second the model sustains at the configured clock, for
+    /// frames of this layout processed `averages` periods per frame.
+    /// Averages the deconvolution cost over every frame finalized so far
+    /// (frames can differ — a budget overrun decodes fewer channels); with
+    /// no finalized frame yet it falls back to a nominal one-frame estimate.
     double sustained_sample_rate(std::size_t averages) const;
 
 private:
@@ -166,6 +169,8 @@ private:
     std::size_t bram_bytes_used_ = 0;   ///< fixed at construction
     bool fits_bram_ = true;             ///< fixed at construction
     FpgaCycleReport report_;
+    std::uint64_t total_deconv_cycles_ = 0;  ///< across all finalized frames
+    std::uint64_t frames_finalized_ = 0;     ///< frames finalize_frame() ran
 
     // Integer scratch.
     std::vector<std::int64_t> chan_;       // one phase, length N

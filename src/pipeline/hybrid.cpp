@@ -1,6 +1,8 @@
 #include "pipeline/hybrid.hpp"
 
 #include <algorithm>
+
+#include "analysis/stage.hpp"
 #include <cmath>
 #include <exception>
 #include <memory>
@@ -275,6 +277,9 @@ HybridReport HybridPipeline::run() {
                         report.fpga = fpga.report();
                         if (config_.frame_sink)
                             config_.frame_sink(index, report.last_frame);
+                        if (config_.analysis)
+                            config_.analysis->analyze(0, index,
+                                                      report.last_frame);
                         frame_mark();
                         if (more_frames) fpga.begin_frame();
                     });
@@ -332,6 +337,9 @@ HybridReport HybridPipeline::run() {
                                     report.fpga = decoder->report();
                                     if (config_.frame_sink)
                                         config_.frame_sink(job->index, decoded);
+                                    if (config_.analysis)
+                                        config_.analysis->analyze(
+                                            0, job->index, decoded);
                                     report.last_frame = std::move(decoded);
                                     frame_mark();
                                     emitter.advance();
@@ -407,6 +415,9 @@ HybridReport HybridPipeline::run() {
                         report.last_frame = cpu.deconvolve(accum);
                         if (config_.frame_sink)
                             config_.frame_sink(index, report.last_frame);
+                        if (config_.analysis)
+                            config_.analysis->analyze(0, index,
+                                                      report.last_frame);
                         frame_mark();
                         accum.fill(0.0);
                     });
@@ -478,6 +489,9 @@ HybridReport HybridPipeline::run() {
                                 if (emitter.wait_turn(job->index)) {
                                     if (config_.frame_sink)
                                         config_.frame_sink(job->index, decoded);
+                                    if (config_.analysis)
+                                        config_.analysis->analyze(
+                                            0, job->index, decoded);
                                     report.last_frame = std::move(decoded);
                                     frame_mark();
                                     emitter.advance();

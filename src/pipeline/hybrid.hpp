@@ -50,6 +50,10 @@
 #include "pipeline/spsc_ring.hpp"
 #include "telemetry/registry.hpp"
 
+namespace htims::analysis {
+class AnalysisStage;
+}
+
 namespace htims::pipeline {
 
 /// Which processing component consumes the stream.
@@ -163,6 +167,13 @@ struct HybridConfig {
     /// otherwise; the call sequence is frame order in both (multi-worker
     /// emission is serialized through the order turnstile).
     std::function<void(std::size_t, const Frame&)> frame_sink;
+
+    /// Optional streaming analysis stage, invoked from the same ordered
+    /// emission point as frame_sink (right after it) with stream id 0 —
+    /// the fleet runner passes its own per-stream ids instead. The ordered
+    /// call sequence is what makes the stage's greedy clustering
+    /// deterministic across decode-worker counts. Not owned.
+    analysis::AnalysisStage* analysis = nullptr;
 
     fault::FaultInjector* faults = nullptr;  ///< optional fault injection
 };

@@ -76,7 +76,15 @@ double LogHistogram::quantile(double q) const {
                 (rank - static_cast<double>(cum)) / static_cast<double>(c);
             const double lo = static_cast<double>(bucket_lo(b));
             const double hi = static_cast<double>(bucket_hi(b));
-            return lo + into * (hi - lo);
+            // Interpolating against the bucket edges can leave the observed
+            // range when a log bucket is wider than the samples in it (one
+            // sample at 1000 lands in [960, 1024) and rank interpolation
+            // lands on 1024): clamp to the recorded extremes so no quantile
+            // ever exceeds the max or undershoots the min.
+            const double v = lo + into * (hi - lo);
+            return std::clamp(
+                v, static_cast<double>(min_.load(std::memory_order_relaxed)),
+                static_cast<double>(max_.load(std::memory_order_relaxed)));
         }
         cum += c;
     }

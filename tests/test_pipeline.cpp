@@ -448,6 +448,49 @@ TEST(Fpga, CycleAccountingScalesWithWork) {
     EXPECT_EQ(fpga.report().deconv_cycles, one.deconv_cycles);
 }
 
+// Regression: sustained_sample_rate() charged only the LAST frame's deconv
+// cycles for every frame of the run. Frames are not homogeneous — a budget
+// overrun decodes fewer channels — so ending a run on a cheap partial frame
+// overstated the sustained figure. The fix averages deconv cycles over all
+// finalized frames.
+TEST(Fpga, SustainedRateAveragesDeconvAcrossFrames) {
+    const prs::OversampledPrs seq(4, 1, prs::GateMode::kPulsed);
+    FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 8,
+                       .drift_bin_width_s = 1e-4};
+    FpgaPipeline fpga(seq, layout, FpgaConfig{});
+    const std::size_t averages = 2;
+    std::vector<std::uint32_t> samples(layout.cells(), 5);
+
+    fpga.begin_frame();
+    fpga.push_samples(samples);
+    FpgaCapture cap = fpga.capture_frame();
+    fpga.finalize_frame(cap);
+    const std::uint64_t full = fpga.report().deconv_cycles;
+
+    // Second frame finalizes as a partial decode (half the channels), as a
+    // fired fpga.overrun fault would leave it.
+    fpga.push_samples(samples);
+    FpgaCapture cap2 = fpga.capture_frame(std::move(cap));
+    cap2.budget_overrun = true;
+    cap2.channel_limit = layout.mz_bins / 2;
+    fpga.finalize_frame(cap2);
+    const std::uint64_t partial = fpga.report().deconv_cycles;
+    ASSERT_LT(partial, full);
+
+    const auto& cfg = fpga.config();
+    const std::uint64_t per_frame = averages * layout.cells();
+    const std::uint64_t capture =  // samples_per_cycle is 1 by default
+        per_frame / static_cast<std::uint64_t>(cfg.samples_per_cycle);
+    const double expected = static_cast<double>(2 * per_frame) * cfg.clock_hz /
+                            static_cast<double>(2 * capture + full + partial);
+    // The old formula priced every frame at the last (cheap, partial) one.
+    const double overstated = static_cast<double>(per_frame) * cfg.clock_hz /
+                              static_cast<double>(capture + partial);
+    const double rate = fpga.sustained_sample_rate(averages);
+    EXPECT_NEAR(rate, expected, 1e-9 * expected);
+    EXPECT_LT(rate, overstated);
+}
+
 TEST(Fpga, BramBudgetReported) {
     const prs::OversampledPrs seq(8, 2, prs::GateMode::kPulsed);
     FrameLayout layout{.drift_bins = seq.length(), .mz_bins = 1024,

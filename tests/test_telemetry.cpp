@@ -135,6 +135,31 @@ TEST(LogHistogram, SingleValueQuantiles) {
     EXPECT_NEAR(h.quantile(0.99), 7777.0, 0.125 * 7777.0);
 }
 
+// Regression: quantile() interpolates inside log buckets, and a bucket's
+// upper edge can exceed every sample in it (1000 lands in [960, 1024), and
+// p99 of a single observation interpolated to 1024 — above the max). The
+// fix clamps quantiles to the observed [min, max].
+TEST(LogHistogram, QuantileClampedToObservedRange) {
+    HTIMS_SKIP_IF_COMPILED_OUT();
+    Registry reg;
+    auto& h = reg.histogram("t.lat");
+    h.observe(1000);
+    const auto s = h.summarize();
+    EXPECT_EQ(s.min, 1000u);
+    EXPECT_EQ(s.max, 1000u);
+    EXPECT_DOUBLE_EQ(s.p50, 1000.0);
+    EXPECT_DOUBLE_EQ(s.p95, 1000.0);
+    EXPECT_DOUBLE_EQ(s.p99, 1000.0);  // was 1024.0: past the only sample
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+
+    h.observe(1020);  // same bucket: quantiles stay inside [1000, 1020]
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+        EXPECT_GE(h.quantile(q), 1000.0) << "q=" << q;
+        EXPECT_LE(h.quantile(q), 1020.0) << "q=" << q;
+    }
+}
+
 TEST(LogHistogram, EmptySummarizesToZero) {
     Registry reg;
     const auto s = reg.histogram("t.lat").summarize();
